@@ -1,0 +1,40 @@
+# Development entry points for beqos. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/resv/ ./internal/sim/ ./internal/sched/ .
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper table and figure into out/ (see EXPERIMENTS.md).
+figures:
+	$(GO) run ./cmd/figures -out out
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/provisioning
+	$(GO) run ./examples/admission
+	$(GO) run ./examples/selfsimilar
+	$(GO) run ./examples/tradeoff
+	$(GO) run ./examples/enforcement
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	rm -rf out test_output.txt bench_output.txt

@@ -1,0 +1,148 @@
+package beqos
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"beqos/internal/resv"
+)
+
+// AdmissionServer is a reservation signaling server for one link: clients
+// request reservations, and admission control grants at most kmax(C) of
+// them, exactly as the paper's reservation-capable architecture prescribes.
+type AdmissionServer struct {
+	s *resv.Server
+}
+
+// NewAdmissionServer returns a server for a link with the given capacity
+// whose applications have the given utility function. Reservations persist
+// until torn down or their connection drops.
+func NewAdmissionServer(capacity float64, util Utility) (*AdmissionServer, error) {
+	s, err := resv.NewServer(capacity, util.f)
+	if err != nil {
+		return nil, err
+	}
+	return &AdmissionServer{s: s}, nil
+}
+
+// NewAdmissionServerTTL is NewAdmissionServer with RSVP-style soft state:
+// reservations expire unless refreshed within ttl (see
+// AdmissionClient.Refresh and KeepAlive). Call Close when done.
+func NewAdmissionServerTTL(capacity float64, util Utility, ttl time.Duration) (*AdmissionServer, error) {
+	s, err := resv.NewServerTTL(capacity, util.f, ttl)
+	if err != nil {
+		return nil, err
+	}
+	return &AdmissionServer{s: s}, nil
+}
+
+// Close stops the server's soft-state sweeper (if any).
+func (a *AdmissionServer) Close() { a.s.Close() }
+
+// NewAdmissionServerBandwidth returns a server that admits by traffic
+// specification: a request for rate r is granted exactly r while the sum
+// of granted rates stays within capacity. This is the paper's "certain
+// amount … of service" admission literally; ttl = 0 disables soft-state
+// expiry.
+func NewAdmissionServerBandwidth(capacity float64, ttl time.Duration) (*AdmissionServer, error) {
+	s, err := resv.NewServerBandwidth(capacity, ttl)
+	if err != nil {
+		return nil, err
+	}
+	return &AdmissionServer{s: s}, nil
+}
+
+// Allocated returns the sum of granted rates (bandwidth mode) or the
+// active count (flow-count mode).
+func (a *AdmissionServer) Allocated() float64 { return a.s.Allocated() }
+
+// Serve accepts and serves connections on ln until it closes.
+func (a *AdmissionServer) Serve(ln net.Listener) error { return a.s.Serve(ln) }
+
+// HandleConn serves one established connection (useful with net.Pipe).
+func (a *AdmissionServer) HandleConn(nc net.Conn) { a.s.HandleConn(nc) }
+
+// Active returns the number of current reservations.
+func (a *AdmissionServer) Active() int { return a.s.Active() }
+
+// KMax returns the admission threshold.
+func (a *AdmissionServer) KMax() int { return a.s.KMax() }
+
+// SetLogf installs a logging callback for protocol events.
+func (a *AdmissionServer) SetLogf(logf func(format string, args ...interface{})) {
+	a.s.Logf = logf
+}
+
+// AdmissionClient requests reservations from an AdmissionServer.
+type AdmissionClient struct {
+	c *resv.Client
+}
+
+// DialAdmission connects to an admission server.
+func DialAdmission(ctx context.Context, network, addr string) (*AdmissionClient, error) {
+	c, err := resv.Dial(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &AdmissionClient{c: c}, nil
+}
+
+// NewAdmissionClient wraps an established connection.
+func NewAdmissionClient(nc net.Conn) *AdmissionClient {
+	return &AdmissionClient{c: resv.NewClient(nc)}
+}
+
+// Close drops the connection, releasing all reservations made through it.
+func (a *AdmissionClient) Close() error { return a.c.Close() }
+
+// Reserve requests a reservation for flowID.
+func (a *AdmissionClient) Reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, err error) {
+	return a.c.Reserve(ctx, flowID, bandwidth)
+}
+
+// Teardown releases flowID's reservation.
+func (a *AdmissionClient) Teardown(ctx context.Context, flowID uint64) error {
+	return a.c.Teardown(ctx, flowID)
+}
+
+// Stats returns the server's admission threshold and active count.
+func (a *AdmissionClient) Stats(ctx context.Context) (kmax, active int, err error) {
+	return a.c.Stats(ctx)
+}
+
+// Refresh renews flowID's soft-state deadline on a TTL server, returning
+// the server's TTL.
+func (a *AdmissionClient) Refresh(ctx context.Context, flowID uint64) (time.Duration, error) {
+	return a.c.Refresh(ctx, flowID)
+}
+
+// KeepAlive refreshes flowID at the given interval until ctx is canceled
+// or a refresh fails; it blocks.
+func (a *AdmissionClient) KeepAlive(ctx context.Context, flowID uint64, interval time.Duration) error {
+	return a.c.KeepAlive(ctx, flowID, interval)
+}
+
+// AdmissionRetryPolicy governs ReserveWithRetry, the live counterpart of
+// the paper's §5.2 retrying extension.
+type AdmissionRetryPolicy struct {
+	// MaxAttempts bounds total attempts (≥ 1).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; Multiplier (≥ 1)
+	// scales it after each attempt; Jitter in [0, 1] randomizes it.
+	BaseDelay  time.Duration
+	Multiplier float64
+	Jitter     float64
+}
+
+// ReserveWithRetry requests a reservation, retrying denials with backoff.
+// It returns the number of retries performed so callers can account the
+// paper's per-retry utility penalty α.
+func (a *AdmissionClient) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth float64, policy AdmissionRetryPolicy) (granted bool, share float64, retries int, err error) {
+	return a.c.ReserveWithRetry(ctx, flowID, bandwidth, resv.RetryPolicy{
+		MaxAttempts: policy.MaxAttempts,
+		BaseDelay:   policy.BaseDelay,
+		Multiplier:  policy.Multiplier,
+		Jitter:      policy.Jitter,
+	})
+}

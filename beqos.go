@@ -1,0 +1,300 @@
+// Package beqos is a Go implementation of the analytical framework from
+// Lee Breslau and Scott Shenker, "Best-Effort versus Reservations: A Simple
+// Comparative Analysis" (SIGCOMM 1998).
+//
+// The paper asks whether the Internet should stay best-effort-only or adopt
+// a reservation-capable (integrated services) architecture. It compares the
+// two on a single link whose offered load k (number of flows) is random
+// with mean k̄, and whose applications share a utility function π(b) of
+// their bandwidth share:
+//
+//   - Best-effort admits everyone: per-flow utility B(C) = E[k·π(C/k)]/k̄.
+//   - Reservations admit at most kmax(C) = argmax k·π(C/k) flows:
+//     R(C) ≥ B(C) always.
+//
+// The interesting questions are how big the edge is — the performance gap
+// δ(C) = R(C) − B(C) and the bandwidth gap Δ(C) solving B(C+Δ) = R(C) —
+// and what it is worth when capacity is priced: the equalizing price ratio
+// γ(p) says how much more expensive reservation-capable bandwidth may be
+// before best-effort wins.
+//
+// This package is the public face of the library: load distributions,
+// utility functions, the variable-load model with its gaps and welfare
+// analysis, the sampling (§5.1) and retrying (§5.2) extensions, a
+// flow-level simulator for generating loads from explicit dynamics, and a
+// small reservation signaling protocol with admission control. The
+// continuum closed forms live in internal/continuum and drive the figure
+// harness in cmd/figures.
+package beqos
+
+import (
+	"fmt"
+
+	"beqos/internal/core"
+	"beqos/internal/dist"
+	"beqos/internal/utility"
+)
+
+// Load is a distribution of the number of flows requesting service.
+type Load struct {
+	d dist.Discrete
+}
+
+// PoissonLoad returns the paper's Poisson load: tightly concentrated around
+// its mean, the closest variable-load analogue of a fixed load.
+func PoissonLoad(mean float64) (Load, error) {
+	d, err := dist.NewPoisson(mean)
+	if err != nil {
+		return Load{}, err
+	}
+	return Load{d: d}, nil
+}
+
+// ExponentialLoad returns the paper's exponentially decaying (geometric)
+// load with the given mean.
+func ExponentialLoad(mean float64) (Load, error) {
+	d, err := dist.NewExponentialMean(mean)
+	if err != nil {
+		return Load{}, err
+	}
+	return Load{d: d}, nil
+}
+
+// AlgebraicLoad returns the paper's heavy-tailed load P(k) ∝ 1/(λ + k^z)
+// with tail power z > 2, calibrated to the given mean. Algebraic tails are
+// where reservations retain a durable advantage.
+func AlgebraicLoad(z, mean float64) (Load, error) {
+	d, err := dist.NewAlgebraicMean(z, mean)
+	if err != nil {
+		return Load{}, err
+	}
+	return Load{d: d}, nil
+}
+
+// EmpiricalLoad builds a load from measured occupancy weights (index k =
+// weight of load level k), e.g. a histogram from the simulator or from
+// production measurements.
+func EmpiricalLoad(weights []float64) (Load, error) {
+	d, err := dist.NewEmpirical(weights)
+	if err != nil {
+		return Load{}, err
+	}
+	return Load{d: d}, nil
+}
+
+// TraceLoad builds a load directly from raw load observations — a trace of
+// concurrent-flow counts sampled from a real or simulated link.
+func TraceLoad(samples []int) (Load, error) {
+	d, err := dist.NewEmpiricalSamples(samples)
+	if err != nil {
+		return Load{}, err
+	}
+	return Load{d: d}, nil
+}
+
+// Mean returns the load's mean k̄.
+func (l Load) Mean() float64 { return l.d.Mean() }
+
+// PMF returns P(k).
+func (l Load) PMF(k int) float64 { return l.d.PMF(k) }
+
+// TailProb returns P(K > k).
+func (l Load) TailProb(k int) float64 { return l.d.TailProb(k) }
+
+// Utility is an application utility (performance) function π(b).
+type Utility struct {
+	f utility.Function
+}
+
+// RigidUtility returns the paper's rigid application (telephony-style):
+// full value at bandwidth 1, nothing below.
+func RigidUtility() Utility {
+	r, err := utility.NewRigid(1)
+	if err != nil {
+		panic("beqos: rigid utility construction cannot fail: " + err.Error())
+	}
+	return Utility{f: r}
+}
+
+// AdaptiveUtility returns the paper's equation-2 adaptive application,
+// π(b) = 1 − exp(−b²/(κ+b)) with κ ≈ 0.62086 calibrated so kmax(C) = C.
+func AdaptiveUtility() Utility { return Utility{f: utility.NewAdaptive()} }
+
+// ElasticUtility returns a traditional data application, π(b) = 1 − e^(−b):
+// strictly concave, so admission control never helps and the architectures
+// coincide.
+func ElasticUtility() Utility { return Utility{f: utility.Elastic{}} }
+
+// RampUtility returns the continuum model's piecewise-linear adaptive
+// utility with adaptivity parameter a ∈ (0, 1]; a = 1 is rigid.
+func RampUtility(a float64) (Utility, error) {
+	r, err := utility.NewRamp(a)
+	if err != nil {
+		return Utility{}, err
+	}
+	return Utility{f: r}, nil
+}
+
+// SlowTailUtility returns the §3.3 slowly saturating utility
+// π(b) = 1 − b^(−τ) for b > 1.
+func SlowTailUtility(tau float64) (Utility, error) {
+	s, err := utility.NewSlowTail(tau)
+	if err != nil {
+		return Utility{}, err
+	}
+	return Utility{f: s}, nil
+}
+
+// Name returns the utility's identifier.
+func (u Utility) Name() string { return u.f.Name() }
+
+// Eval returns π(b).
+func (u Utility) Eval(b float64) float64 { return u.f.Eval(b) }
+
+// Model is the paper's variable-load model for one load/utility pair.
+type Model struct {
+	m *core.Model
+}
+
+// NewModel couples a load distribution with a utility function.
+func NewModel(load Load, util Utility) (*Model, error) {
+	if load.d == nil || util.f == nil {
+		return nil, fmt.Errorf("beqos: load and utility must be constructed, not zero values")
+	}
+	m, err := core.New(load.d, util.f)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{m: m}, nil
+}
+
+// MeanLoad returns k̄.
+func (m *Model) MeanLoad() float64 { return m.m.MeanLoad() }
+
+// KMax returns the reservation admission threshold kmax(C).
+func (m *Model) KMax(c float64) int { return m.m.KMax(c) }
+
+// BestEffort returns the normalized per-flow utility B(C) of the
+// best-effort-only architecture.
+func (m *Model) BestEffort(c float64) float64 { return m.m.BestEffort(c) }
+
+// Reservation returns the normalized per-flow utility R(C) of the
+// reservation-capable architecture.
+func (m *Model) Reservation(c float64) float64 { return m.m.Reservation(c) }
+
+// PerformanceGap returns δ(C) = R(C) − B(C).
+func (m *Model) PerformanceGap(c float64) float64 { return m.m.PerformanceGap(c) }
+
+// BandwidthGap returns Δ(C), the extra capacity best-effort needs to match
+// reservations: B(C + Δ) = R(C).
+func (m *Model) BandwidthGap(c float64) (float64, error) { return m.m.BandwidthGap(c) }
+
+// Provision is a welfare-maximizing provisioning decision at a bandwidth
+// price.
+type Provision = core.Provision
+
+// ProvisionBestEffort returns C_B(p) and W_B(p) (§4).
+func (m *Model) ProvisionBestEffort(p float64) (Provision, error) {
+	return m.m.ProvisionBestEffort(p)
+}
+
+// ProvisionReservation returns C_R(p) and W_R(p) (§4).
+func (m *Model) ProvisionReservation(p float64) (Provision, error) {
+	return m.m.ProvisionReservation(p)
+}
+
+// GammaEqualize returns the equalizing price ratio γ(p): how much more
+// expensive reservation-capable bandwidth may be before the
+// best-effort-only architecture delivers equal welfare.
+func (m *Model) GammaEqualize(p float64) (float64, error) { return m.m.GammaEqualize(p) }
+
+// Sampling returns the §5.1 extension: flows judged by the worst of s load
+// samples.
+func (m *Model) Sampling(s int) (*Sampling, error) {
+	sp, err := core.NewSampling(m.m, s)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampling{sp: sp}, nil
+}
+
+// SamplingWithKMax is the footnote-9 variant of Sampling: the admission
+// threshold is imposed rather than derived from the utility function, which
+// lets even elastic applications benefit from reservations when flows are
+// judged by their worst sampled moment.
+func (m *Model) SamplingWithKMax(s, kmax int) (*Sampling, error) {
+	sp, err := core.NewSamplingWithKMax(m.m, s, kmax)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampling{sp: sp}, nil
+}
+
+// Retry returns the §5.2 extension: blocked reservations retry at utility
+// cost alpha per attempt.
+func (m *Model) Retry(alpha float64) (*Retry, error) {
+	rt, err := core.NewRetry(m.m, alpha)
+	if err != nil {
+		return nil, err
+	}
+	return &Retry{rt: rt}, nil
+}
+
+// FixedLoadOptimum analyzes the paper's §2 fixed-load model: the
+// utility-maximizing number of admitted flows at capacity c, the total
+// utility it achieves, and whether a finite maximum exists (false for
+// elastic utilities, where admission control never helps).
+func FixedLoadOptimum(util Utility, c float64) (kmax int, v float64, finite bool) {
+	return core.FixedLoadOptimum(util.f, c)
+}
+
+// FixedLoadTotalUtility returns the §2 total utility V(k) = k·π(C/k).
+func FixedLoadTotalUtility(util Utility, c float64, k int) float64 {
+	return utility.TotalUtility(util.f, c, k)
+}
+
+// Sampling is the worst-of-S-samples extension of a Model.
+type Sampling struct {
+	sp *core.Sampling
+}
+
+// BestEffort returns B_S(C).
+func (s *Sampling) BestEffort(c float64) float64 { return s.sp.BestEffort(c) }
+
+// Reservation returns R_S(C).
+func (s *Sampling) Reservation(c float64) float64 { return s.sp.Reservation(c) }
+
+// PerformanceGap returns δ_S(C).
+func (s *Sampling) PerformanceGap(c float64) float64 { return s.sp.PerformanceGap(c) }
+
+// BandwidthGap returns Δ_S(C).
+func (s *Sampling) BandwidthGap(c float64) (float64, error) { return s.sp.BandwidthGap(c) }
+
+// GammaEqualize returns γ(p) under sampling.
+func (s *Sampling) GammaEqualize(p float64) (float64, error) { return s.sp.GammaEqualize(p) }
+
+// Retry is the retrying extension of a Model.
+type Retry struct {
+	rt *core.Retry
+}
+
+// Equilibrium describes the retry fixed point at a capacity.
+type Equilibrium = core.FixedPoint
+
+// Equilibrium returns the self-consistent inflated load at capacity c.
+func (r *Retry) Equilibrium(c float64) (Equilibrium, error) { return r.rt.Equilibrium(c) }
+
+// Reservation returns R̃(C), the per-original-flow utility with retries.
+func (r *Retry) Reservation(c float64) (float64, error) { return r.rt.Reservation(c) }
+
+// BestEffort returns B(C) (unchanged by retries).
+func (r *Retry) BestEffort(c float64) float64 { return r.rt.BestEffort(c) }
+
+// PerformanceGap returns δ̃(C).
+func (r *Retry) PerformanceGap(c float64) (float64, error) { return r.rt.PerformanceGap(c) }
+
+// BandwidthGap returns Δ̃(C).
+func (r *Retry) BandwidthGap(c float64) (float64, error) { return r.rt.BandwidthGap(c) }
+
+// GammaEqualize returns γ(p) with retries.
+func (r *Retry) GammaEqualize(p float64) (float64, error) { return r.rt.GammaEqualize(p) }

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"beqos"
+)
+
+func TestCmdEval(t *testing.T) {
+	if err := cmdEval([]string{"-load", "exponential", "-util", "rigid", "-capacity", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-load", "nope"}); err == nil {
+		t.Error("unknown load should fail")
+	}
+	if err := cmdEval([]string{"-util", "nope"}); err == nil {
+		t.Error("unknown utility should fail")
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	if err := cmdSweep([]string{"-load", "poisson", "-cmin", "50", "-cmax", "150", "-step", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-cmin", "100", "-cmax", "50"}); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if err := cmdSweep([]string{"-step", "0"}); err == nil {
+		t.Error("zero step should fail")
+	}
+	if err := cmdSweep([]string{"-csv", "-cmin", "100", "-cmax", "100", "-step", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdWelfare(t *testing.T) {
+	if err := cmdWelfare([]string{"-load", "exponential", "-price", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWelfare([]string{"-price", "-1"}); err == nil {
+		t.Error("negative price should fail")
+	}
+}
+
+func TestCmdSim(t *testing.T) {
+	if err := cmdSim([]string{"-capacity", "120", "-horizon", "2000", "-util", "adaptive"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSim([]string{"-capacity", "120", "-horizon", "2000", "-reserve"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSim([]string{"-capacity", "0"}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestServeAndReserveOverLoopback(t *testing.T) {
+	// Start a server the way cmdServe does, then drive it with cmdReserve.
+	srv, err := beqos.NewAdmissionServer(3, beqos.RigidUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.Serve(ln) }()
+
+	err = cmdReserve([]string{
+		"-addr", ln.Addr().String(),
+		"-flows", "5",
+		"-hold", "0s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client connection closed, so reservations were released.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Active() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.Active() != 0 {
+		t.Errorf("server still holds %d reservations", srv.Active())
+	}
+}
+
+func TestCmdReserveConnectError(t *testing.T) {
+	err := cmdReserve([]string{"-addr", "127.0.0.1:1"})
+	if err == nil || !strings.Contains(err.Error(), "dial") {
+		t.Errorf("expected dial error, got %v", err)
+	}
+}
+
+func TestCmdGamma(t *testing.T) {
+	if err := cmdGamma([]string{"-load", "poisson", "-pmin", "0.05", "-pmax", "0.3", "-points", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdGamma([]string{"-pmin", "0.5", "-pmax", "0.1"}); err == nil {
+		t.Error("inverted price range should fail")
+	}
+	if err := cmdGamma([]string{"-csv", "-pmin", "0.05", "-pmax", "0.3", "-points", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdFixedLoad(t *testing.T) {
+	if err := cmdFixedLoad([]string{"-capacity", "50", "-util", "rigid", "-ktop", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFixedLoad([]string{"-util", "elastic"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdFixedLoad([]string{"-util", "nope"}); err == nil {
+		t.Error("unknown utility should fail")
+	}
+}
+
+func TestCmdEvalWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.txt")
+	if err := os.WriteFile(path, []byte("90 100 110 95 105 100 100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-load", "trace", "-trace", path, "-capacity", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-load", "trace"}); err == nil {
+		t.Error("missing trace file should fail")
+	}
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("12 potato"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEval([]string{"-load", "trace", "-trace", bad}); err == nil {
+		t.Error("non-numeric trace should fail")
+	}
+}
+
+func TestCmdPlot(t *testing.T) {
+	if err := cmdPlot([]string{"-load", "exponential", "-cmin", "50", "-cmax", "400", "-points", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlot([]string{"-gap", "-cmin", "50", "-cmax", "200", "-points", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdPlot([]string{"-cmin", "100", "-cmax", "50"}); err == nil {
+		t.Error("inverted range should fail")
+	}
+}
+
+func TestCmdExtension(t *testing.T) {
+	if err := cmdExtension([]string{"-load", "exponential", "-util", "adaptive", "-samples", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExtension([]string{"-load", "algebraic", "-util", "adaptive", "-retry-alpha", "0.1", "-capacity", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExtension([]string{}); err == nil {
+		t.Error("neither extension selected should fail")
+	}
+	if err := cmdExtension([]string{"-samples", "5", "-retry-alpha", "0.1"}); err == nil {
+		t.Error("both extensions selected should fail")
+	}
+}

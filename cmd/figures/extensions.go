@@ -1,0 +1,233 @@
+package main
+
+import (
+	"fmt"
+
+	"beqos/internal/core"
+	"beqos/internal/dist"
+	"beqos/internal/report"
+	"beqos/internal/sched"
+	"beqos/internal/utility"
+)
+
+// f0FixedLoad renders the §2 fixed-load curves V(k) = k·π(C/k) whose shape
+// decides whether admission control pays: peaked for rigid and adaptive
+// (inelastic) applications, monotone for elastic ones.
+func (h *harness) f0FixedLoad() error {
+	const c = 100.0
+	rigid, err := utility.NewRigid(1)
+	if err != nil {
+		return err
+	}
+	fns := []utility.Function{rigid, utility.NewAdaptive(), utility.Elastic{}}
+	const kTop = 300
+	var rows [][]float64
+	var p report.Plot
+	p.Title = fmt.Sprintf("§2 fixed-load model: V(k) = k·π(C/k) at C = %g", c)
+	p.XLabel = "offered load k"
+	p.YLabel = "V(k)"
+	ks := make([]float64, kTop)
+	for i := range ks {
+		ks[i] = float64(i + 1)
+	}
+	curves := make([][]float64, len(fns))
+	for i, f := range fns {
+		curves[i] = core.FixedLoadCurve(f, c, kTop)
+		if err := p.Add(report.Series{Name: f.Name(), X: ks, Y: curves[i]}); err != nil {
+			return err
+		}
+	}
+	for k := 0; k < kTop; k++ {
+		rows = append(rows, []float64{ks[k], curves[0][k], curves[1][k], curves[2][k]})
+	}
+	if err := h.writeCSV("f0_fixedload", []string{"k", "V_rigid", "V_adaptive", "V_elastic"}, rows); err != nil {
+		return err
+	}
+	return h.writePlot("f0_fixedload", &p)
+}
+
+// x1Heterogeneous shows the §5 heterogeneous-flows extension: mixtures of
+// sizes and utilities perturb the C ≈ k̄ region while leaving the
+// asymptotic laws intact.
+func (h *harness) x1Heterogeneous() error {
+	rigid, err := utility.NewRigid(1)
+	if err != nil {
+		return err
+	}
+	mix, err := utility.NewMixture([]utility.Component{
+		{Fn: rigid, Weight: 0.5, Demand: 1},
+		{Fn: rigid, Weight: 0.3, Demand: 2},
+		{Fn: utility.NewAdaptive(), Weight: 0.2, Demand: 0.5},
+	})
+	if err != nil {
+		return err
+	}
+	load, err := h.load("algebraic")
+	if err != nil {
+		return err
+	}
+	pure, err := core.New(load, rigid)
+	if err != nil {
+		return err
+	}
+	hetero, err := core.New(load, mix)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("C", "delta pure", "delta hetero", "Delta pure", "Delta hetero")
+	var rows [][]float64
+	cs := []float64{50, 100, 200, 400, 800, 1600}
+	if h.quick {
+		cs = []float64{100, 400}
+	}
+	for _, c := range cs {
+		dp := pure.PerformanceGap(c)
+		dh := hetero.PerformanceGap(c)
+		gp, err := pure.BandwidthGap(c)
+		if err != nil {
+			return err
+		}
+		gh, err := hetero.BandwidthGap(c)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(c, dp, dh, gp, gh)
+		rows = append(rows, []float64{c, dp, dh, gp, gh})
+	}
+	if err := h.writeCSV("x1_heterogeneous", []string{"C", "delta_pure", "delta_hetero", "Delta_pure", "Delta_hetero"}, rows); err != nil {
+		return err
+	}
+	return h.writeTable("x1_heterogeneous", tb)
+}
+
+// x2Nonstationary shows the §5 nonstationary-loads extension: a mixture of
+// load regimes inherits the heaviest component's asymptotics.
+func (h *harness) x2Nonstationary() error {
+	rigid, err := utility.NewRigid(1)
+	if err != nil {
+		return err
+	}
+	light, err := h.load("exponential")
+	if err != nil {
+		return err
+	}
+	heavy, err := h.load("algebraic")
+	if err != nil {
+		return err
+	}
+	mixed, err := dist.NewMixture([]dist.Discrete{light, heavy}, []float64{0.8, 0.2})
+	if err != nil {
+		return err
+	}
+	mLight, err := core.New(light, rigid)
+	if err != nil {
+		return err
+	}
+	mMixed, err := core.New(mixed, rigid)
+	if err != nil {
+		return err
+	}
+	mHeavy, err := core.New(heavy, rigid)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("C", "Delta light", "Delta 80/20 mix", "Delta heavy")
+	var rows [][]float64
+	cs := []float64{100, 200, 400, 800, 1600}
+	if h.quick {
+		cs = []float64{200, 800}
+	}
+	for _, c := range cs {
+		gl, err := mLight.BandwidthGap(c)
+		if err != nil {
+			return err
+		}
+		gm, err := mMixed.BandwidthGap(c)
+		if err != nil {
+			return err
+		}
+		gh, err := mHeavy.BandwidthGap(c)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(c, gl, gm, gh)
+		rows = append(rows, []float64{c, gl, gm, gh})
+	}
+	if err := h.writeCSV("x2_nonstationary", []string{"C", "Delta_light", "Delta_mix", "Delta_heavy"}, rows); err != nil {
+		return err
+	}
+	return h.writeTable("x2_nonstationary", tb)
+}
+
+// x3Footnote9 exhibits footnote 9: with sampling, even elastic
+// applications gain from reservations once a finite kmax is imposed.
+func (h *harness) x3Footnote9() error {
+	load, err := h.load("exponential")
+	if err != nil {
+		return err
+	}
+	m, err := core.New(load, utility.Elastic{})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("S", "C", "kmax", "B_S", "R_S", "delta_S")
+	var rows [][]float64
+	for _, s := range []int{1, 5, 10} {
+		sp, err := core.NewSamplingWithKMax(m, s, 100)
+		if err != nil {
+			return err
+		}
+		for _, c := range []float64{80, 100, 150} {
+			b := sp.BestEffort(c)
+			r := sp.Reservation(c)
+			tb.AddRow(s, c, 100, b, r, r-b)
+			rows = append(rows, []float64{float64(s), c, 100, b, r, r - b})
+		}
+	}
+	if err := h.writeCSV("x3_footnote9", []string{"S", "C", "kmax", "B", "R", "delta"}, rows); err != nil {
+		return err
+	}
+	return h.writeTable("x3_footnote9", tb)
+}
+
+// x4Enforcement tabulates the scheduling substrate's effect: FIFO versus
+// fair queueing for reserved flows facing an unreserved aggressor.
+func (h *harness) x4Enforcement() error {
+	reserved := []sched.Source{
+		{Flow: 1, Rate: 0.28, PacketSize: 0.01},
+		{Flow: 2, Rate: 0.28, PacketSize: 0.01},
+		{Flow: 3, Rate: 0.28, PacketSize: 0.01},
+	}
+	tb := report.NewTable("aggressor rate", "victim FIFO", "victim SCFQ", "aggressor FIFO", "aggressor SCFQ")
+	var rows [][]float64
+	for _, rate := range []float64{0.5, 1, 2, 5, 10} {
+		aggressor := sched.Source{Flow: 99, Rate: rate, PacketSize: 0.01}
+		sources := append(append([]sched.Source{}, reserved...), aggressor)
+		fifoStats, err := sched.RunLink(sched.NewFIFO(), 1, sources, 200)
+		if err != nil {
+			return err
+		}
+		fq := sched.NewSCFQ()
+		for _, r := range reserved {
+			if err := fq.SetWeight(r.Flow, 1); err != nil {
+				return err
+			}
+		}
+		if err := fq.SetWeight(99, 0.05); err != nil {
+			return err
+		}
+		fqStats, err := sched.RunLink(fq, 1, sources, 200)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(rate, fifoStats[1].Throughput, fqStats[1].Throughput,
+			fifoStats[99].Throughput, fqStats[99].Throughput)
+		rows = append(rows, []float64{rate, fifoStats[1].Throughput, fqStats[1].Throughput,
+			fifoStats[99].Throughput, fqStats[99].Throughput})
+	}
+	if err := h.writeCSV("x4_enforcement",
+		[]string{"aggr_rate", "victim_fifo", "victim_scfq", "aggr_fifo", "aggr_scfq"}, rows); err != nil {
+		return err
+	}
+	return h.writeTable("x4_enforcement", tb)
+}

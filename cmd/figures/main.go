@@ -1,0 +1,101 @@
+// Command figures regenerates every table and figure of Breslau & Shenker
+// (SIGCOMM 1998) from this library, writing one CSV (for external plotting)
+// and one ASCII rendering per artifact into an output directory.
+//
+// Usage:
+//
+//	figures [-out DIR] [-only fig1,fig2,...] [-quick]
+//
+// Experiments (see DESIGN.md for the index):
+//
+//	fig1        adaptive utility curve (Figure 1)
+//	fig2        Poisson load: utility, bandwidth gap, price ratio (Figure 2)
+//	fig3        exponential load (Figure 3)
+//	fig4        algebraic load, z = 3 (Figure 4)
+//	t1          continuum closed forms vs quadrature (§3.2–3.3)
+//	t2          worst-case bounds as z → 2⁺ (§3.3, §4)
+//	t3          slow-tail utility regimes (§3.3)
+//	e1          sampling extension sweeps (§5.1)
+//	e2          sampling asymptotic ratios (§5.1)
+//	e3          retrying extension sweeps (§5.2)
+//	e4          retry asymptotic ratios (§5.2)
+//	s1          simulated Poisson dynamics vs the analytical model
+//	s2          simulated heavy-tailed sessions vs Poisson
+//	f0          §2 fixed-load curves V(k) for rigid/adaptive/elastic
+//	x1          §5 heterogeneous flows (utility mixtures)
+//	x2          §5 nonstationary loads (distribution mixtures)
+//	x3          footnote 9: elastic applications gain under sampling
+//	x4          scheduling substrate: FIFO collapse vs fair-queueing isolation
+//
+// -quick shrinks every grid for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	outDir := flag.String("out", "out", "output directory for CSV and ASCII artifacts")
+	only := flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+	quick := flag.Bool("quick", false, "use coarse grids for a fast smoke run")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	h := &harness{dir: *outDir, quick: *quick}
+	experiments := map[string]func() error{
+		"f0":   h.f0FixedLoad,
+		"fig1": h.fig1,
+		"fig2": func() error { return h.figureFamily("fig2", "poisson") },
+		"fig3": func() error { return h.figureFamily("fig3", "exponential") },
+		"fig4": func() error { return h.figureFamily("fig4", "algebraic") },
+		"t1":   h.t1Continuum,
+		"t2":   h.t2WorstCase,
+		"t3":   h.t3SlowTail,
+		"e1":   h.e1Sampling,
+		"e2":   h.e2SamplingAsym,
+		"e3":   h.e3Retry,
+		"e4":   h.e4RetryAsym,
+		"s1":   h.s1SimPoisson,
+		"s2":   h.s2SimHeavyTail,
+		"x1":   h.x1Heterogeneous,
+		"x2":   h.x2Nonstationary,
+		"x3":   h.x3Footnote9,
+		"x4":   h.x4Enforcement,
+	}
+	var ids []string
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	} else {
+		for id := range experiments {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	}
+	failed := false
+	for _, id := range ids {
+		run, ok := experiments[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q\n", id)
+			failed = true
+			continue
+		}
+		start := time.Now()
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("figures: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHarnessQuickRuns(t *testing.T) {
+	dir := t.TempDir()
+	h := &harness{dir: dir, quick: true}
+	cases := map[string]func() error{
+		"f0":   h.f0FixedLoad,
+		"fig1": h.fig1,
+		"t1":   h.t1Continuum,
+		"t2":   h.t2WorstCase,
+		"e2":   h.e2SamplingAsym,
+		"e4":   h.e4RetryAsym,
+		"x1":   h.x1Heterogeneous,
+		"x2":   h.x2Nonstationary,
+		"x3":   h.x3Footnote9,
+		"x4":   h.x4Enforcement,
+		"s1":   h.s1SimPoisson,
+		"s2":   h.s2SimHeavyTail,
+		"e1":   h.e1Sampling,
+		"e3":   h.e3Retry,
+		"t3":   h.t3SlowTail,
+	}
+	for id, run := range cases {
+		if err := run(); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvs, txts int
+	for _, e := range entries {
+		switch filepath.Ext(e.Name()) {
+		case ".csv":
+			csvs++
+		case ".txt":
+			txts++
+		}
+	}
+	if csvs < len(cases) || txts < len(cases) {
+		t.Errorf("expected ≥ %d CSVs and TXTs, got %d and %d", len(cases), csvs, txts)
+	}
+}
+
+func TestHarnessFigureFamilyQuick(t *testing.T) {
+	dir := t.TempDir()
+	h := &harness{dir: dir, quick: true}
+	if err := h.figureFamily("fig3", "exponential"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"fig3_exponential_rigid_utility.csv",
+		"fig3_exponential_rigid_gap.txt",
+		"fig3_exponential_adaptive_gamma.csv",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing artifact %s: %v", want, err)
+		}
+	}
+	// The utility CSV must have the header and monotone B column.
+	data, err := os.ReadFile(filepath.Join(dir, "fig3_exponential_rigid_utility.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "C,B,R,delta") {
+		t.Errorf("unexpected CSV header: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestHarnessUnknownLoad(t *testing.T) {
+	h := &harness{dir: t.TempDir()}
+	if _, err := h.load("nope"); err == nil {
+		t.Error("unknown load should fail")
+	}
+	if _, err := h.util("nope"); err == nil {
+		t.Error("unknown utility should fail")
+	}
+}

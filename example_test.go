@@ -1,0 +1,106 @@
+package beqos_test
+
+import (
+	"fmt"
+	"log"
+
+	"beqos"
+)
+
+// The basic comparison: per-flow utilities under each architecture.
+func ExampleNewModel() {
+	load, err := beqos.ExponentialLoad(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := beqos.NewModel(load, beqos.RigidUtility())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("B(200) = %.2f\n", model.BestEffort(200))
+	fmt.Printf("R(200) = %.2f\n", model.Reservation(200))
+	// Output:
+	// B(200) = 0.59
+	// R(200) = 0.86
+}
+
+// How much extra capacity does best-effort need to match reservations?
+func ExampleModel_BandwidthGap() {
+	load, err := beqos.ExponentialLoad(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := beqos.NewModel(load, beqos.RigidUtility())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gap, err := model.BandwidthGap(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Δ(200) = %.0f\n", gap)
+	// Output:
+	// Δ(200) = 151
+}
+
+// With heavy-tailed loads the reservation advantage survives cheap
+// bandwidth: γ(p) converges to (z−1)^(1/(z−2)) = 2 for z = 3.
+func ExampleModel_GammaEqualize() {
+	load, err := beqos.AlgebraicLoad(3, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := beqos.NewModel(load, beqos.RigidUtility())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gamma, err := model.GammaEqualize(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("γ(0.01) = %.2f\n", gamma)
+	// Output:
+	// γ(0.01) = 2.00
+}
+
+// The §2 fixed-load model: rigid applications want admission control,
+// elastic ones never do.
+func ExampleFixedLoadOptimum() {
+	kmax, v, finite := beqos.FixedLoadOptimum(beqos.RigidUtility(), 100)
+	fmt.Printf("rigid: kmax = %d, V = %.0f, finite = %v\n", kmax, v, finite)
+	_, _, finite = beqos.FixedLoadOptimum(beqos.ElasticUtility(), 100)
+	fmt.Printf("elastic: finite = %v\n", finite)
+	// Output:
+	// rigid: kmax = 100, V = 100, finite = true
+	// elastic: finite = false
+}
+
+// Generate a load from explicit flow dynamics and feed it back into the
+// analytical model.
+func ExampleSimulate() {
+	traffic, err := beqos.PoissonTraffic(10, 10) // offered load 100
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := beqos.Simulate(beqos.SimConfig{
+		Capacity: 150,
+		Util:     beqos.RigidUtility(),
+		Traffic:  traffic,
+		Horizon:  20000,
+		Warmup:   500,
+		Samples:  1,
+		Seed:     7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("occupancy near 100: %v\n", res.MeanOccupancy > 95 && res.MeanOccupancy < 105)
+	model, err := beqos.NewModel(res.MeasuredLoad, beqos.RigidUtility())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured-load B(150) above 0.99: %v\n", model.BestEffort(150) > 0.99)
+	// Output:
+	// occupancy near 100: true
+	// measured-load B(150) above 0.99: true
+}

@@ -1,0 +1,91 @@
+// Admission: a live reservation-signaling session over loopback TCP. An
+// admission-control server guards a small link with the model's
+// utility-maximizing threshold kmax(C); a burst of clients requests
+// reservations, some are denied, and the deniers retry with backoff while
+// early holders depart — the paper's §5.2 retry dynamics made concrete.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"beqos"
+)
+
+func main() {
+	const capacity = 4.0 // kmax(C) = 4 with rigid b̂ = 1
+	server, err := beqos.NewAdmissionServer(capacity, beqos.RigidUtility())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		if err := server.Serve(ln); err != nil {
+			// net.ErrClosed on shutdown is expected.
+			return
+		}
+	}()
+	fmt.Printf("admission server on %s: capacity %g, kmax %d\n\n",
+		ln.Addr(), capacity, server.KMax())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	results := make(map[uint64]string)
+
+	// Ten clients race for four slots. Each holds its reservation briefly,
+	// so retrying clients eventually get in.
+	for id := uint64(1); id <= 10; id++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			client, err := beqos.DialAdmission(ctx, "tcp", ln.Addr().String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer client.Close()
+			granted, share, retries, err := client.ReserveWithRetry(ctx, id, 1, beqos.AdmissionRetryPolicy{
+				MaxAttempts: 20,
+				BaseDelay:   50 * time.Millisecond,
+				Multiplier:  1.3,
+				Jitter:      0.3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			if granted {
+				results[id] = fmt.Sprintf("granted share %.3g after %d retries", share, retries)
+			} else {
+				results[id] = fmt.Sprintf("gave up after %d retries", retries)
+			}
+			mu.Unlock()
+			if granted {
+				// Hold, then depart so someone else can enter.
+				time.Sleep(150 * time.Millisecond)
+				if err := client.Teardown(ctx, id); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	for id := uint64(1); id <= 10; id++ {
+		fmt.Printf("flow %2d: %s\n", id, results[id])
+	}
+	fmt.Printf("\nfinal active reservations: %d\n", server.Active())
+	fmt.Println("\nEvery flow was eventually served: admission control trades instant")
+	fmt.Println("access for guaranteed shares, and retries (at a utility cost α per")
+	fmt.Println("attempt — §5.2) recover the utility the basic model writes off.")
+}

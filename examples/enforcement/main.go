@@ -1,0 +1,65 @@
+// Enforcement: the two halves of the reservation architecture working
+// together. Admission control (the paper's kmax) decides who gets in, and
+// fair queueing — the GPS-style scheduling the integrated-services
+// architecture presumes — makes the granted shares real on the wire.
+//
+// Three reserved flows and one unreserved aggressor share a unit link.
+// Under best-effort FIFO the aggressor starves everyone; under fair
+// queueing the reserved flows keep the shares the admission controller
+// granted.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beqos/internal/sched"
+)
+
+func main() {
+	const capacity = 1.0
+	// Three well-behaved reserved flows, each wanting ~28% of the link…
+	reserved := []sched.Source{
+		{Flow: 1, Rate: 0.28, PacketSize: 0.01},
+		{Flow: 2, Rate: 0.28, PacketSize: 0.01},
+		{Flow: 3, Rate: 0.28, PacketSize: 0.01},
+	}
+	// …and an aggressor blasting 5× the link capacity.
+	aggressor := sched.Source{Flow: 99, Rate: 5, PacketSize: 0.01}
+	sources := append(append([]sched.Source{}, reserved...), aggressor)
+
+	fifoStats, err := sched.RunLink(sched.NewFIFO(), capacity, sources, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fq := sched.NewSCFQ()
+	// Admission granted each reserved flow an equal share; the aggressor
+	// is unreserved and gets a tiny best-effort weight.
+	for _, r := range reserved {
+		if err := fq.SetWeight(r.Flow, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := fq.SetWeight(aggressor.Flow, 0.05); err != nil {
+		log.Fatal(err)
+	}
+	fqStats, err := sched.RunLink(fq, capacity, sources, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("flow        offered rate   FIFO throughput   fair-queue throughput")
+	for _, src := range sources {
+		name := fmt.Sprintf("reserved %d", src.Flow)
+		if src.Flow == 99 {
+			name = "aggressor "
+		}
+		fmt.Printf("%-11s %12.2f %17.3f %23.3f\n",
+			name, src.Rate, fifoStats[src.Flow].Throughput, fqStats[src.Flow].Throughput)
+	}
+
+	fmt.Println("\nFIFO lets the aggressor convert its demand into share — the reserved")
+	fmt.Println("flows collapse to ~5% each. Fair queueing pins them at their granted")
+	fmt.Println("~28%, which is precisely why the paper's reservation-capable")
+	fmt.Println("architecture needs both admission control and GPS-style scheduling.")
+}

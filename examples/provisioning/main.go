@@ -1,0 +1,65 @@
+// Provisioning: a capacity-planning what-if in the paper's §4 welfare
+// model. A provider buys capacity at unit price p and recovers user
+// utility; how much capacity should it buy under each architecture, how
+// does welfare compare, and how does the answer change as bandwidth gets
+// cheaper?
+//
+// The punchline the paper proves and this example reproduces: with Poisson
+// or exponential loads the reservation advantage evaporates as p → 0, but
+// with heavy-tailed (algebraic) loads γ(p) converges to (z−1)^(1/(z−2)) —
+// for z = 3, reservations stay worth a 2× bandwidth-cost premium no matter
+// how cheap bandwidth becomes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beqos"
+)
+
+func main() {
+	prices := []float64{0.3, 0.1, 0.03, 0.01, 0.003, 0.001}
+
+	for _, tc := range []struct {
+		name string
+		load func() (beqos.Load, error)
+	}{
+		{"exponential load (light tail)", func() (beqos.Load, error) { return beqos.ExponentialLoad(100) }},
+		{"algebraic load z=3 (heavy tail)", func() (beqos.Load, error) { return beqos.AlgebraicLoad(3, 100) }},
+	} {
+		load, err := tc.load()
+		if err != nil {
+			log.Fatal(err)
+		}
+		model, err := beqos.NewModel(load, beqos.RigidUtility())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s, rigid applications ==\n", tc.name)
+		fmt.Println("   price p    C_B(p)    C_R(p)     W_B(p)     W_R(p)   γ(p)")
+		for _, p := range prices {
+			pb, err := model.ProvisionBestEffort(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pr, err := model.ProvisionReservation(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gamma, err := model.GammaEqualize(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%10.3f %9.0f %9.0f %10.2f %10.2f  %.3f\n",
+				p, pb.Capacity, pr.Capacity, pb.Welfare, pr.Welfare, gamma)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading the tables: under the light-tailed load γ(p) sinks toward 1")
+	fmt.Println("as bandwidth cheapens — overprovisioned best-effort is good enough.")
+	fmt.Println("Under the heavy-tailed load γ(p) settles at 2: the reservation")
+	fmt.Println("architecture keeps a durable 2× cost advantage (the paper's bound")
+	fmt.Println("for z → 2⁺ is e ≈ 2.72).")
+}

@@ -1,0 +1,60 @@
+// Quickstart: compare the best-effort-only and reservation-capable
+// architectures on one link, reproducing the core quantities of Breslau &
+// Shenker (SIGCOMM 1998) — per-flow utilities B(C) and R(C), the
+// performance gap δ(C), the bandwidth gap Δ(C), and the equalizing price
+// ratio γ(p).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"beqos"
+)
+
+func main() {
+	// Mean offered load of 100 flows, exponentially distributed — the
+	// paper's middle-ground load assumption.
+	load, err := beqos.ExponentialLoad(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Rigid applications (telephony-style): all-or-nothing utility.
+	model, err := beqos.NewModel(load, beqos.RigidUtility())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("capacity   B(C)     R(C)     δ(C)     Δ(C)")
+	for _, c := range []float64{100, 200, 400, 800} {
+		b := model.BestEffort(c)
+		r := model.Reservation(c)
+		gap, err := model.BandwidthGap(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f   %.4f   %.4f   %.4f   %6.1f\n", c, b, r, r-b, gap)
+	}
+
+	// How much more may reservation-capable bandwidth cost before
+	// best-effort-only wins on welfare?
+	gamma, err := model.GammaEqualize(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAt bandwidth price 0.01, reservations tolerate a %.0f%% cost premium (γ = %.3f).\n",
+		(gamma-1)*100, gamma)
+
+	// Adaptive applications shrink the advantage dramatically.
+	adaptive, err := beqos.NewModel(load, beqos.AdaptiveUtility())
+	if err != nil {
+		log.Fatal(err)
+	}
+	gammaAd, err := adaptive.GammaEqualize(0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("With adaptive applications the premium collapses to %.1f%% (γ = %.3f).\n",
+		(gammaAd-1)*100, gammaAd)
+}

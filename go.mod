@@ -1,0 +1,3 @@
+module beqos
+
+go 1.22

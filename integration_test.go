@@ -1,0 +1,140 @@
+package beqos_test
+
+import (
+	"context"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"beqos"
+	"beqos/internal/sched"
+)
+
+// TestGrandLoop ties all four layers of the reproduction together for one
+// link: the analytical model picks the admission threshold, the flow-level
+// simulator confirms the stationary behavior, the signaling protocol
+// enforces the threshold against live clients, and the packet scheduler
+// delivers the granted shares on the wire.
+func TestGrandLoop(t *testing.T) {
+	const capacity = 8.0
+
+	// 1. Analytical layer: rigid applications at C = 8 ⇒ kmax = 8, and at
+	// mean offered load 10 the reservation architecture beats best-effort.
+	load, err := beqos.PoissonLoad(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := beqos.NewModel(load, beqos.RigidUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmax := model.KMax(capacity)
+	if kmax != 8 {
+		t.Fatalf("model kmax(%g) = %d, want 8", capacity, kmax)
+	}
+	if d := model.PerformanceGap(capacity); d <= 0 {
+		t.Fatalf("expected a positive reservation advantage, δ = %v", d)
+	}
+
+	// 2. Dynamic layer: simulated reservations never exceed kmax and the
+	// measured utility lands near (slightly below) the static prediction.
+	traffic, err := beqos.PoissonTraffic(1, 10) // offered load 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := beqos.Simulate(beqos.SimConfig{
+		Capacity:     capacity,
+		Util:         beqos.RigidUtility(),
+		Traffic:      traffic,
+		Reservations: true,
+		Horizon:      20000,
+		Warmup:       500,
+		Samples:      1,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := model.Reservation(capacity); simRes.MeanUtility > want+0.02 ||
+		simRes.MeanUtility < want-0.1 {
+		t.Errorf("simulated reservation utility %v vs model %v", simRes.MeanUtility, want)
+	}
+
+	// 3. Signaling layer: the protocol grants exactly kmax of 12
+	// competing live requests.
+	srv, err := beqos.NewAdmissionServer(capacity, beqos.RigidUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.KMax() != kmax {
+		t.Fatalf("server kmax %d differs from model %d", srv.KMax(), kmax)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.Serve(ln) }()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	granted := make([]uint64, 0, kmax)
+	var wg sync.WaitGroup
+	clients := make([]*beqos.AdmissionClient, 12)
+	for i := range clients {
+		c, err := beqos.DialAdmission(ctx, "tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+		wg.Add(1)
+		go func(id uint64, c *beqos.AdmissionClient) {
+			defer wg.Done()
+			ok, _, err := c.Reserve(ctx, id, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if ok {
+				mu.Lock()
+				granted = append(granted, id)
+				mu.Unlock()
+			}
+		}(uint64(i+1), c)
+	}
+	wg.Wait()
+	if len(granted) != kmax {
+		t.Fatalf("protocol granted %d reservations, want kmax = %d", len(granted), kmax)
+	}
+
+	// 4. Scheduling layer: the granted flows, each weighted equally, hold
+	// their C/kmax share on the wire against an unreserved blaster.
+	fq := sched.NewSCFQ()
+	sources := make([]sched.Source, 0, kmax+1)
+	for _, id := range granted {
+		if err := fq.SetWeight(int(id), 1); err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, sched.Source{
+			Flow: int(id), Rate: capacity / float64(kmax), PacketSize: 0.05,
+		})
+	}
+	if err := fq.SetWeight(1000, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	sources = append(sources, sched.Source{Flow: 1000, Rate: 3 * capacity, PacketSize: 0.05})
+	stats, err := sched.RunLink(fq, capacity, sources, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShare := capacity / float64(kmax)
+	for _, id := range granted {
+		if got := stats[int(id)].Throughput; math.Abs(got-wantShare) > 0.1*wantShare {
+			t.Errorf("flow %d throughput %v, want ≈ %v (granted share)", id, got, wantShare)
+		}
+	}
+}

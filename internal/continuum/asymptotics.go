@@ -1,0 +1,90 @@
+package continuum
+
+import "math"
+
+// This file collects the paper's asymptotic laws (§3.3, §4, §5) as directly
+// callable formulas. They are cross-validated against the quadrature model
+// and the discrete model in tests.
+
+// WorstCaseGammaLimit returns e, the paper's conjectured maximal asymptotic
+// equalizing price ratio: lim_{z→2⁺} lim_{p→0} γ(p) in the basic model. If
+// reservation-capable networks cost more than e times per unit bandwidth,
+// best-effort-only wins regardless of the load distribution (in the basic
+// model).
+func WorstCaseGammaLimit() float64 { return math.E }
+
+// WorstCaseGapSlope returns e − 1, the paper's conjectured maximal
+// asymptotic bandwidth-gap slope: lim_{z→2⁺} lim_{C→∞} Δ(C)/C in the basic
+// model. Best-effort networks never need more than e times the bandwidth of
+// a reservation network to match its performance.
+func WorstCaseGapSlope() float64 { return math.E - 1 }
+
+// ExpRigidGapLaw returns the §3.3 logarithmic law for the exponential/rigid
+// bandwidth gap, Δ(C) ≈ ln(1 + βC)/β: overprovisioning never stops paying
+// (the gap keeps growing), but only logarithmically.
+func ExpRigidGapLaw(beta, c float64) float64 {
+	return math.Log1p(beta*c) / beta
+}
+
+// rampCoef returns (k̄ − E)/k̄ for the ramp utility under algebraic load:
+// the fraction of best-effort overload losses that adaptivity does not
+// recover. It rises from 1/(z−1) at a → 0 (where reservations confer no
+// advantage) to 1 at a → 1 (the rigid case).
+func rampCoef(z, a float64) float64 {
+	kbar := (z - 1) / (z - 2)
+	e := ((1 - math.Pow(a, z-1)) - a*kbar*(1-math.Pow(a, z-2))) / (1 - a)
+	return (kbar - e) / kbar
+}
+
+// SamplingAlgRigidRatio returns the §5.1 limit
+// lim_{C→∞} (C+Δ(C))/C = lim_{p→0} γ(p) = (S(z−1))^(1/(z−2)) for algebraic
+// load with rigid applications judged by the worst of S samples. It
+// diverges as z → 2⁺ for any S > 1: sampling removes the basic model's
+// e-bounds.
+func SamplingAlgRigidRatio(z float64, s int) float64 {
+	return math.Pow(float64(s)*(z-1), 1/(z-2))
+}
+
+// SamplingAlgRampRatio is the adaptive analogue of SamplingAlgRigidRatio:
+// (S(z−1)(k̄−E)/k̄)^(1/(z−2)). It also diverges as z → 2⁺.
+func SamplingAlgRampRatio(z, a float64, s int) float64 {
+	return math.Pow(float64(s)*(z-1)*rampCoef(z, a), 1/(z-2))
+}
+
+// RetryAlgRigidRatio returns the §5.2 limit
+// lim_{C→∞} (C+Δ(C))/C = lim_{p→0} γ(p) = ((z−1)/α)^(1/(z−2)) for
+// algebraic load, rigid applications, and retry penalty α. It diverges as
+// z → 2⁺ and as α → 0 (free retries).
+func RetryAlgRigidRatio(z, alpha float64) float64 {
+	return math.Pow((z-1)/alpha, 1/(z-2))
+}
+
+// RetryAlgRampRatio is the adaptive analogue of RetryAlgRigidRatio:
+// ((z−1)(k̄−E)/(α·k̄))^(1/(z−2)).
+func RetryAlgRampRatio(z, a, alpha float64) float64 {
+	return math.Pow((z-1)*rampCoef(z, a)/alpha, 1/(z-2))
+}
+
+// SlowTailGapExponent returns the asymptotic growth exponent g of the
+// bandwidth gap, Δ(C) ~ C^g, for algebraic load (power z) and the §3.3
+// slow-tail utility π(b) = 1 − b^(−τ):
+//
+//	τ ≥ z−2:        g = 1      (linear growth, as with fast-saturating π)
+//	z−3 < τ < z−2:  g = τ+3−z  (still growing, but sublinearly)
+//	τ < z−3:        g = τ+3−z  (negative: the gap eventually shrinks)
+//
+// How fast the utility saturates thus interacts with how heavy the load
+// tail is to set the fate of overprovisioning.
+func SlowTailGapExponent(z, tau float64) float64 {
+	if tau >= z-2 {
+		return 1
+	}
+	return tau + 3 - z
+}
+
+// SamplingExpRigidGapLaw returns the §5.1 large-C approximation
+// δ(C) ≈ e^(−βC)·(S(1+βC) − 1) for exponential load, rigid applications
+// and S samples.
+func SamplingExpRigidGapLaw(beta, c float64, s int) float64 {
+	return math.Exp(-beta*c) * (float64(s)*(1+beta*c) - 1)
+}

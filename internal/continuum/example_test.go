@@ -1,0 +1,39 @@
+package continuum_test
+
+import (
+	"fmt"
+	"log"
+
+	"beqos/internal/continuum"
+)
+
+// The paper's two headline asymptotic laws, from the closed forms.
+func Example() {
+	// Exponential load: the bandwidth gap grows only logarithmically…
+	exp, err := continuum.NewExpRigid(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g1, err := exp.BandwidthGap(10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g2, err := exp.BandwidthGap(100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exp: 10x capacity grows Δ by %.1fx\n", g2/g1)
+
+	// …while algebraic load makes it linear with a universal z → 2⁺ bound.
+	alg, err := continuum.NewAlgRigid(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alg z=3: Δ(C)/C = %.0f, γ(p→0) = %.0f\n",
+		alg.BandwidthGap(1000)/1000, alg.GapRatio())
+	fmt.Printf("worst case as z→2: γ → %.3f\n", continuum.WorstCaseGammaLimit())
+	// Output:
+	// exp: 10x capacity grows Δ by 1.5x
+	// alg z=3: Δ(C)/C = 1, γ(p→0) = 2
+	// worst case as z→2: γ → 2.718
+}

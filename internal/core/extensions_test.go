@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"beqos/internal/dist"
+	"beqos/internal/utility"
+)
+
+func TestFixedLoadOptimum(t *testing.T) {
+	r := rigid(t)
+	k, v, finite := FixedLoadOptimum(r, 100)
+	if !finite || k != 100 || v != 100 {
+		t.Errorf("rigid: got (%d, %v, %v), want (100, 100, true)", k, v, finite)
+	}
+	if _, _, finite := FixedLoadOptimum(utility.Elastic{}, 100); finite {
+		t.Error("elastic should report no finite optimum")
+	}
+	a := utility.NewAdaptive()
+	k, _, finite = FixedLoadOptimum(a, 100)
+	if !finite || k < 99 || k > 101 {
+		t.Errorf("adaptive kmax(100) = %d, want ≈ 100 (κ* calibration)", k)
+	}
+}
+
+func TestFixedLoadCurveShape(t *testing.T) {
+	// Rigid: V(k) = k up to C, then 0 — peaked, admission control helps.
+	curve := FixedLoadCurve(rigid(t), 50, 100)
+	if curve[49] != 50 || curve[50] != 0 {
+		t.Errorf("rigid curve: V(50) = %v, V(51) = %v", curve[49], curve[50])
+	}
+	// Elastic: V strictly increasing everywhere.
+	curve = FixedLoadCurve(utility.Elastic{}, 50, 400)
+	for i := 1; i < len(curve); i++ {
+		if curve[i] <= curve[i-1] {
+			t.Fatalf("elastic V(k) not increasing at k = %d", i+1)
+		}
+	}
+}
+
+func TestAdmissionGain(t *testing.T) {
+	r := rigid(t)
+	if g := AdmissionGain(r, 100, 50); g != 0 {
+		t.Errorf("no gain below kmax, got %v", g)
+	}
+	// At k = 150 > kmax = 100, best-effort collapses to 0, admission
+	// recovers 100.
+	if g := AdmissionGain(r, 100, 150); g != 100 {
+		t.Errorf("gain = %v, want 100", g)
+	}
+	if g := AdmissionGain(utility.Elastic{}, 100, 500); g != 0 {
+		t.Errorf("elastic gain = %v, want 0", g)
+	}
+}
+
+func TestFootnote9ElasticBenefitsUnderSampling(t *testing.T) {
+	// Footnote 9: "even with elastic applications the reservation-capable
+	// network can provide higher utility [under sampling]… we need to
+	// discard the standard kmax (infinite for elastic applications) and
+	// use some finite value."
+	m := model(t, exponential(t), utility.Elastic{})
+	sp, err := NewSamplingWithKMax(m, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := 100.0
+	b, r := sp.BestEffort(c), sp.Reservation(c)
+	if !(r > b) {
+		t.Errorf("elastic under sampling with kmax=100: R_S(%g) = %v should exceed B_S = %v", c, r, b)
+	}
+	// Without the override, elastic reservations collapse to best-effort.
+	plain, err := NewSampling(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plain.Reservation(c); math.Abs(got-plain.BestEffort(c)) > 1e-12 {
+		t.Errorf("elastic without override: R_S = %v should equal B_S = %v", got, plain.BestEffort(c))
+	}
+}
+
+func TestSamplingWithKMaxValidation(t *testing.T) {
+	m := model(t, exponential(t), rigid(t))
+	if _, err := NewSamplingWithKMax(m, 5, 0); err == nil {
+		t.Error("kmax = 0 should fail")
+	}
+	if _, err := NewSamplingWithKMax(m, 0, 10); err == nil {
+		t.Error("S = 0 should fail")
+	}
+}
+
+func TestHeterogeneousMixturePerturbsMidRangeNotAsymptotics(t *testing.T) {
+	// §5: heterogeneous flows (here: half rigid at demand 1, half rigid at
+	// demand 2) change the C ≈ k̄ region but not the algebraic case's
+	// linear Δ(C) law.
+	rigidFn := rigid(t)
+	mix, err := utility.NewMixture([]utility.Component{
+		{Fn: rigidFn, Weight: 0.5, Demand: 1},
+		{Fn: rigidFn, Weight: 0.5, Demand: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pure := model(t, algebraic(t, 3), rigidFn)
+	hetero := model(t, algebraic(t, 3), mix)
+	// Mid-range values differ materially…
+	if d1, d2 := pure.PerformanceGap(100), hetero.PerformanceGap(100); math.Abs(d1-d2) < 1e-3 {
+		t.Errorf("heterogeneity should perturb the k̄ region: pure %v vs hetero %v", d1, d2)
+	}
+	// …but the asymptotic bandwidth-gap growth stays linear.
+	g800, err := hetero.BandwidthGap(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1600, err := hetero.BandwidthGap(1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := g1600 / g800
+	if math.Abs(ratio-2) > 0.35 {
+		t.Errorf("heterogeneous Δ growth ratio = %v, want ≈ 2 (linear)", ratio)
+	}
+}
+
+func TestNonstationaryMixtureLoad(t *testing.T) {
+	// §5: nonstationary loads (a mixture of regimes). A light/heavy
+	// mixture inherits the heavy component's asymptotics.
+	light := exponential(t)
+	heavy := algebraic(t, 3)
+	mixed, err := dist.NewMixture([]dist.Discrete{light, heavy}, []float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model(t, mixed, rigid(t))
+	// Basic sanity.
+	for _, c := range []float64{100, 400} {
+		b, r := m.BestEffort(c), m.Reservation(c)
+		if !(r >= b && b >= 0 && r <= 1) {
+			t.Errorf("mixture model out of range at C=%g: B=%v R=%v", c, b, r)
+		}
+	}
+	// Asymptotically linear Δ (the algebraic component dominates).
+	g800, err := m.BandwidthGap(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1600, err := m.BandwidthGap(1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := g1600 / g800; math.Abs(ratio-2) > 0.35 {
+		t.Errorf("mixture Δ growth ratio = %v, want ≈ 2 (heavy tail dominates)", ratio)
+	}
+	// A purely light-tailed mixture keeps slow (logarithmic) growth.
+	lightMix, err := dist.NewMixture([]dist.Discrete{poisson(t), light}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := model(t, lightMix, rigid(t))
+	h800, err := ml.BandwidthGap(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1600, err := ml.BandwidthGap(1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := h1600 / h800; ratio > 1.5 {
+		t.Errorf("light mixture Δ ratio = %v, should grow sublinearly", ratio)
+	}
+}

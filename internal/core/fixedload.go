@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math"
+
+	"beqos/internal/utility"
+)
+
+// FixedLoadOptimum analyzes the §2 fixed-load model at capacity c: the
+// utility-maximizing number of admitted flows, the total utility V(kmax)
+// it achieves, and whether a finite maximum exists at all. finite = false
+// identifies elastic utilities, for which denying access never raises
+// total utility and the best-effort-only architecture is ideal.
+func FixedLoadOptimum(f utility.Function, c float64) (kmax int, v float64, finite bool) {
+	k, ok := utility.KMax(f, c)
+	if !ok {
+		return 0, 0, false
+	}
+	return k, utility.TotalUtility(f, c, k), true
+}
+
+// FixedLoadCurve tabulates V(k) = k·π(C/k) for k = 1…kTop, the §2 curve
+// whose shape (monotone versus peaked) decides whether admission control
+// pays.
+func FixedLoadCurve(f utility.Function, c float64, kTop int) []float64 {
+	out := make([]float64, kTop)
+	for k := 1; k <= kTop; k++ {
+		out[k-1] = utility.TotalUtility(f, c, k)
+	}
+	return out
+}
+
+// AdmissionGain returns the §2 fixed-load advantage of admission control at
+// load k: V(min(k, kmax)) − V(k), the utility recovered by turning excess
+// flows away. It is 0 for k ≤ kmax and for elastic utilities.
+func AdmissionGain(f utility.Function, c float64, k int) float64 {
+	kmax, _, finite := FixedLoadOptimum(f, c)
+	if !finite || k <= kmax {
+		return 0
+	}
+	gain := utility.TotalUtility(f, c, kmax) - utility.TotalUtility(f, c, k)
+	return math.Max(gain, 0)
+}

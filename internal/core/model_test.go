@@ -1,0 +1,442 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"beqos/internal/dist"
+	"beqos/internal/utility"
+)
+
+// kbar is the paper's mean offered load for all numerical work.
+const kbar = 100.0
+
+func poisson(t testing.TB) dist.Discrete {
+	t.Helper()
+	d, err := dist.NewPoisson(kbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func exponential(t testing.TB) dist.Discrete {
+	t.Helper()
+	d, err := dist.NewExponentialMean(kbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func algebraic(t testing.TB, z float64) dist.Discrete {
+	t.Helper()
+	d, err := dist.NewAlgebraicMean(z, kbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func rigid(t testing.TB) utility.Function {
+	t.Helper()
+	r, err := utility.NewRigid(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func model(t testing.TB, load dist.Discrete, util utility.Function) *Model {
+	t.Helper()
+	m, err := New(load, util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func allModels(t testing.TB) map[string]*Model {
+	return map[string]*Model{
+		"poisson/rigid":        model(t, poisson(t), rigid(t)),
+		"poisson/adaptive":     model(t, poisson(t), utility.NewAdaptive()),
+		"exponential/rigid":    model(t, exponential(t), rigid(t)),
+		"exponential/adaptive": model(t, exponential(t), utility.NewAdaptive()),
+		"algebraic/rigid":      model(t, algebraic(t, 3), rigid(t)),
+		"algebraic/adaptive":   model(t, algebraic(t, 3), utility.NewAdaptive()),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, rigid(t)); err == nil {
+		t.Error("nil load should fail")
+	}
+	if _, err := New(poisson(t), nil); err == nil {
+		t.Error("nil utility should fail")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	for name, m := range allModels(t) {
+		if m.BestEffort(0) != 0 || m.Reservation(0) != 0 {
+			t.Errorf("%s: nonzero utility at zero capacity", name)
+		}
+		if m.BestEffort(-5) != 0 {
+			t.Errorf("%s: nonzero utility at negative capacity", name)
+		}
+	}
+}
+
+func TestReservationDominatesBestEffort(t *testing.T) {
+	// R(C) ≥ B(C) for every model and capacity: overload terms are
+	// replaced by the fixed-load maximum V(kmax) ≥ V(k).
+	for name, m := range allModels(t) {
+		for _, c := range []float64{1, 10, 50, 100, 150, 200, 400, 1000} {
+			b, r := m.BestEffort(c), m.Reservation(c)
+			if r < b-1e-9 {
+				t.Errorf("%s: R(%g) = %v < B(%g) = %v", name, c, r, c, b)
+			}
+			if b < 0 || r > 1+1e-9 {
+				t.Errorf("%s: utilities out of range at C=%g: B=%v R=%v", name, c, b, r)
+			}
+		}
+	}
+}
+
+func TestBestEffortMonotoneInCapacity(t *testing.T) {
+	for name, m := range allModels(t) {
+		prevB, prevR := 0.0, 0.0
+		for c := 10.0; c <= 500; c += 10 {
+			b, r := m.BestEffort(c), m.Reservation(c)
+			if b < prevB-1e-9 {
+				t.Errorf("%s: B not monotone at C=%g (%v after %v)", name, c, b, prevB)
+			}
+			if r < prevR-1e-9 {
+				t.Errorf("%s: R not monotone at C=%g (%v after %v)", name, c, r, prevR)
+			}
+			prevB, prevR = b, r
+		}
+	}
+}
+
+func TestElasticArchitecturesCoincide(t *testing.T) {
+	m := model(t, poisson(t), utility.Elastic{})
+	for _, c := range []float64{5, 50, 100, 300} {
+		b, r := m.BestEffort(c), m.Reservation(c)
+		if math.Abs(b-r) > 1e-12 {
+			t.Errorf("elastic: R(%g)=%v differs from B(%g)=%v", c, r, c, b)
+		}
+	}
+}
+
+// naiveTotalBestEffort recomputes V_B by long direct summation, bypassing
+// the integral tail acceleration.
+func naiveTotalBestEffort(m *Model, c float64) float64 {
+	var sum float64
+	for k := 1; k <= 6_000_000; k++ {
+		sum += m.load.PMF(k) * float64(k) * m.util.Eval(c/float64(k))
+	}
+	return sum
+}
+
+func TestIntegralTailAccelerationMatchesNaiveSum(t *testing.T) {
+	// The algebraic distribution exercises the dist.RealPMF tail path.
+	m := model(t, algebraic(t, 3), utility.NewAdaptive())
+	for _, c := range []float64{50, 100, 400} {
+		fast := m.TotalBestEffort(c)
+		slow := naiveTotalBestEffort(m, c)
+		if math.Abs(fast-slow) > 2e-5*(1+slow) {
+			t.Errorf("C=%g: accelerated %v vs naive %v", c, fast, slow)
+		}
+	}
+}
+
+func TestBandwidthGapDefinition(t *testing.T) {
+	// B(C + Δ(C)) = R(C) by construction.
+	for name, m := range allModels(t) {
+		for _, c := range []float64{50, 100, 200} {
+			r := m.Reservation(c)
+			d, err := m.BandwidthGap(c)
+			if err != nil {
+				t.Fatalf("%s at C=%g: %v", name, c, err)
+			}
+			if d < 0 {
+				t.Errorf("%s: negative gap at C=%g", name, c)
+			}
+			if d == 0 {
+				continue
+			}
+			// For rigid utilities B(C) is a step function of capacity
+			// (jumps at integer C), so require bracketing within one step
+			// rather than exact equality.
+			if lo := m.BestEffort(c + d - 1); lo > r+1e-6 {
+				t.Errorf("%s: B(C+Δ−1) = %v exceeds R(C) = %v", name, lo, r)
+			}
+			if hi := m.BestEffort(c + d + 1); hi < r-1e-6 {
+				t.Errorf("%s: B(C+Δ+1) = %v below R(C) = %v", name, hi, r)
+			}
+		}
+	}
+}
+
+func TestGapsConsistent(t *testing.T) {
+	m := model(t, exponential(t), rigid(t))
+	b, r, delta, bw, err := m.Gaps(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(delta-(r-b)) > 1e-15 {
+		t.Errorf("delta inconsistent: %v vs %v", delta, r-b)
+	}
+	want, err := m.BandwidthGap(150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bw-want) > 1e-9 {
+		t.Errorf("bandwidth gap inconsistent: %v vs %v", bw, want)
+	}
+}
+
+func TestRigidFastPathMatchesGeneric(t *testing.T) {
+	// Strip the Rigid type so the generic series path runs, and compare.
+	type bareRigid struct{ utility.Function }
+	r := rigid(t)
+	for _, load := range []dist.Discrete{poisson(t), exponential(t), algebraic(t, 3)} {
+		fast := model(t, load, r)
+		slow := model(t, load, bareRigid{r})
+		for _, c := range []float64{25, 99.5, 100, 250} {
+			if a, b := fast.TotalBestEffort(c), slow.TotalBestEffort(c); math.Abs(a-b) > 1e-6*(1+b) {
+				t.Errorf("%T B at C=%g: fast %v vs generic %v", load, c, a, b)
+			}
+			if a, b := fast.TotalReservation(c), slow.TotalReservation(c); math.Abs(a-b) > 1e-6*(1+b) {
+				t.Errorf("%T R at C=%g: fast %v vs generic %v", load, c, a, b)
+			}
+		}
+	}
+}
+
+// --- Paper headline numbers (Figures 2–4) ---
+
+func TestPaperPoissonRigidPeaks(t *testing.T) {
+	// Fig 2a/2b: δ peaks near 0.8 and Δ peaks near 80 below C = k̄, and
+	// both vanish extremely fast for C > k̄.
+	m := model(t, poisson(t), rigid(t))
+	var maxDelta, maxGap float64
+	for c := 5.0; c <= 140; c += 5 {
+		d := m.PerformanceGap(c)
+		if d > maxDelta {
+			maxDelta = d
+		}
+		g, err := m.BandwidthGap(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g > maxGap {
+			maxGap = g
+		}
+	}
+	if maxDelta < 0.7 || maxDelta > 0.9 {
+		t.Errorf("Poisson/rigid δ peak = %v, paper ≈ 0.8", maxDelta)
+	}
+	if maxGap < 60 || maxGap > 100 {
+		t.Errorf("Poisson/rigid Δ peak = %v, paper ≈ 80", maxGap)
+	}
+	// Superexponential vanishing beyond k̄.
+	if d := m.PerformanceGap(200); d > 1e-10 {
+		t.Errorf("Poisson/rigid δ(2k̄) = %v, paper < 1e-15", d)
+	}
+}
+
+func TestPaperExponentialRigidGapValues(t *testing.T) {
+	// §3.3: δ(2k̄) ≈ .27 and δ(4k̄) ≈ .07 for exponential load and rigid
+	// applications.
+	m := model(t, exponential(t), rigid(t))
+	if d := m.PerformanceGap(200); math.Abs(d-0.27) > 0.03 {
+		t.Errorf("exp/rigid δ(200) = %v, paper ≈ 0.27", d)
+	}
+	if d := m.PerformanceGap(400); math.Abs(d-0.07) > 0.02 {
+		t.Errorf("exp/rigid δ(400) = %v, paper ≈ 0.07", d)
+	}
+}
+
+func TestPaperExponentialRigidGapGrowsLogarithmically(t *testing.T) {
+	// Δ(C) ≈ ln(1 + βC)/β for large C: monotone increasing, with ratios
+	// matching the log law.
+	m := model(t, exponential(t), rigid(t))
+	beta := math.Log(1.01)
+	prev := 0.0
+	var gaps []float64
+	for _, c := range []float64{200, 400, 800, 1600} {
+		g, err := m.BandwidthGap(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g <= prev {
+			t.Errorf("exp/rigid Δ(%g) = %v not increasing (prev %v)", c, g, prev)
+		}
+		prev = g
+		gaps = append(gaps, g)
+	}
+	// The continuum law is asymptotic; at C = 16k̄ the discrete value is
+	// within a few percent.
+	want := math.Log(1+beta*1600) / beta
+	if g := gaps[len(gaps)-1]; math.Abs(g-want) > 0.12*want {
+		t.Errorf("exp/rigid Δ(1600) = %v, continuum law ≈ %v", g, want)
+	}
+	// Increments match the log law too: Δ(1600) − Δ(800) ≈ ln(·)/β.
+	wantInc := math.Log((1+beta*1600)/(1+beta*800)) / beta
+	if inc := gaps[3] - gaps[2]; math.Abs(inc-wantInc) > 0.3*wantInc {
+		t.Errorf("exp/rigid Δ increment = %v, log law ≈ %v", inc, wantInc)
+	}
+}
+
+func TestPaperExponentialAdaptiveGapShrinks(t *testing.T) {
+	// Fig 3d/3e: with adaptive applications the peak δ is reduced by about
+	// a factor of 10, δ(2k̄) < .01, δ(4k̄) < .001, and Δ(C) peaks (≈9)
+	// and then decreases for C > k̄.
+	m := model(t, exponential(t), utility.NewAdaptive())
+	if d := m.PerformanceGap(200); d >= 0.01 {
+		t.Errorf("exp/adaptive δ(200) = %v, paper < .01", d)
+	}
+	if d := m.PerformanceGap(400); d >= 0.001 {
+		t.Errorf("exp/adaptive δ(400) = %v, paper < .001", d)
+	}
+	gPeak := 0.0
+	for c := 20.0; c <= 120; c += 10 {
+		g, err := m.BandwidthGap(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g > gPeak {
+			gPeak = g
+		}
+	}
+	if gPeak < 4 || gPeak > 15 {
+		t.Errorf("exp/adaptive Δ peak = %v, paper ≈ 9", gPeak)
+	}
+	g300, err := m.BandwidthGap(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g300 >= gPeak {
+		t.Errorf("exp/adaptive Δ(300) = %v should fall below the peak %v", g300, gPeak)
+	}
+}
+
+func TestPaperAlgebraicRigidGapValues(t *testing.T) {
+	// Fig 4a: δ(2k̄) ≈ .20 and δ(4k̄) ≈ .10 for z = 3 (both read off the
+	// published figure, so tolerances are loose; the asymptotic invariant
+	// δ ∝ 1/C is checked tightly below).
+	m := model(t, algebraic(t, 3), rigid(t))
+	if d := m.PerformanceGap(200); math.Abs(d-0.20) > 0.05 {
+		t.Errorf("alg/rigid δ(200) = %v, paper ≈ .20", d)
+	}
+	if d := m.PerformanceGap(400); d < 0.08 || d > 0.18 {
+		t.Errorf("alg/rigid δ(400) = %v, paper figure ≈ .10", d)
+	}
+	// For z = 3 the tail gives δ(C) ∝ 1/C asymptotically: the ratio
+	// δ(16k̄)/δ(32k̄) approaches 2.
+	ratio := m.PerformanceGap(1600) / m.PerformanceGap(3200)
+	if math.Abs(ratio-2) > 0.25 {
+		t.Errorf("alg/rigid δ(1600)/δ(3200) = %v, want → 2", ratio)
+	}
+}
+
+func TestPaperAlgebraicRigidGapLinear(t *testing.T) {
+	// Fig 4b and §3.3: Δ(C) grows linearly with slope ≈ 1 for z = 3
+	// ((z−1)^(1/(z−2)) − 1 = 1).
+	m := model(t, algebraic(t, 3), rigid(t))
+	g400, err := m.BandwidthGap(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g800, err := m.BandwidthGap(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slope := (g800 - g400) / 400
+	if math.Abs(slope-1) > 0.3 {
+		t.Errorf("alg/rigid Δ slope = %v, paper ≈ 1", slope)
+	}
+}
+
+func TestPaperAlgebraicAdaptiveSlopeReduced(t *testing.T) {
+	// Fig 4e: Δ(C) still linear but with slope reduced by a factor > 20.
+	mr := model(t, algebraic(t, 3), rigid(t))
+	ma := model(t, algebraic(t, 3), utility.NewAdaptive())
+	gr800, err := mr.BandwidthGap(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr400, err := mr.BandwidthGap(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga800, err := ma.BandwidthGap(800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga400, err := ma.BandwidthGap(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopeR := (gr800 - gr400) / 400
+	slopeA := (ga800 - ga400) / 400
+	if slopeA <= 0 {
+		t.Fatalf("alg/adaptive slope = %v, want positive", slopeA)
+	}
+	if ratio := slopeR / slopeA; ratio < 10 {
+		t.Errorf("slope ratio rigid/adaptive = %v, paper > 20", ratio)
+	}
+}
+
+func TestKMaxMatchesUtility(t *testing.T) {
+	m := model(t, poisson(t), rigid(t))
+	prop := func(seed uint32) bool {
+		c := float64(seed%100000)/100 + 1
+		want, ok := utility.KMax(m.util, c)
+		return ok && m.KMax(c) == want
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedLoadTotal(t *testing.T) {
+	m := model(t, poisson(t), rigid(t))
+	if got := m.FixedLoadTotal(10, 5); got != 5 {
+		t.Errorf("V(5) at C=10: %v", got)
+	}
+	if got := m.FixedLoadTotal(10, 11); got != 0 {
+		t.Errorf("V(11) at C=10: %v", got)
+	}
+}
+
+// naiveTotalReservation recomputes V_R by direct summation.
+func naiveTotalReservation(m *Model, c float64) float64 {
+	kmax := m.KMax(c)
+	var sum float64
+	for k := 1; k <= kmax; k++ {
+		sum += m.load.PMF(k) * float64(k) * m.util.Eval(c/float64(k))
+	}
+	sum += float64(kmax) * m.util.Eval(c/float64(kmax)) * m.load.TailProb(kmax)
+	return sum
+}
+
+func TestTotalsMatchNaiveAcrossLoads(t *testing.T) {
+	// Every acceleration path (rigid fast path, integral tails, reservation
+	// head break) agrees with plain summation.
+	for name, m := range allModels(t) {
+		for _, c := range []float64{30, 100, 250, 700} {
+			slowB := naiveTotalBestEffort(m, c)
+			if fast := m.TotalBestEffort(c); math.Abs(fast-slowB) > 3e-5*(1+slowB) {
+				t.Errorf("%s: V_B(%g) fast %v vs naive %v", name, c, fast, slowB)
+			}
+			slowR := naiveTotalReservation(m, c)
+			if fast := m.TotalReservation(c); math.Abs(fast-slowR) > 3e-5*(1+slowR) {
+				t.Errorf("%s: V_R(%g) fast %v vs naive %v", name, c, fast, slowR)
+			}
+		}
+	}
+}

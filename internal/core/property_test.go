@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"beqos/internal/dist"
+	"beqos/internal/utility"
+)
+
+// propertyModels builds a small zoo of models indexed by seed, reused
+// across the quick properties below (model construction is the expensive
+// part).
+func propertyModels(t *testing.T) []*Model {
+	t.Helper()
+	var models []*Model
+	rigidFn := rigid(t)
+	ramp, err := utility.NewRamp(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, load := range []dist.Discrete{poisson(t), exponential(t), algebraic(t, 3), algebraic(t, 2.5)} {
+		for _, util := range []utility.Function{rigidFn, utility.NewAdaptive(), ramp} {
+			models = append(models, model(t, load, util))
+		}
+	}
+	return models
+}
+
+func TestPropertyReservationDominates(t *testing.T) {
+	models := propertyModels(t)
+	prop := func(seedM uint32, seedC float64) bool {
+		m := models[int(seedM)%len(models)]
+		c := math.Mod(math.Abs(seedC), 2000)
+		b, r := m.BestEffort(c), m.Reservation(c)
+		return r >= b-1e-9 && b >= -1e-12 && r <= 1+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBestEffortMonotone(t *testing.T) {
+	models := propertyModels(t)
+	prop := func(seedM uint32, seedC, seedD float64) bool {
+		m := models[int(seedM)%len(models)]
+		c := math.Mod(math.Abs(seedC), 1000)
+		d := math.Mod(math.Abs(seedD), 500)
+		return m.BestEffort(c+d) >= m.BestEffort(c)-1e-9 &&
+			m.Reservation(c+d) >= m.Reservation(c)-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBandwidthGapNonnegativeAndSolving(t *testing.T) {
+	models := propertyModels(t)
+	prop := func(seedM uint32, seedC float64) bool {
+		m := models[int(seedM)%len(models)]
+		c := 10 + math.Mod(math.Abs(seedC), 400)
+		g, err := m.BandwidthGap(c)
+		if err != nil || g < 0 {
+			return false
+		}
+		if g == 0 {
+			return true
+		}
+		// Bracketing within one step (rigid utilities step at integers).
+		r := m.Reservation(c)
+		return m.BestEffort(c+g-1) <= r+1e-6 && m.BestEffort(c+g+1) >= r-1e-6
+	}
+	cfg := &quick.Config{MaxCount: 40} // gap solving is the pricey part
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySamplingOneEqualsBasic(t *testing.T) {
+	models := propertyModels(t)
+	prop := func(seedM uint32, seedC float64) bool {
+		m := models[int(seedM)%len(models)]
+		c := 1 + math.Mod(math.Abs(seedC), 600)
+		sp, err := NewSampling(m, 1)
+		if err != nil {
+			return false
+		}
+		return math.Abs(sp.BestEffort(c)-m.BestEffort(c)) < 1e-7 &&
+			math.Abs(sp.Reservation(c)-m.Reservation(c)) < 1e-7
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySamplingMonotoneInS(t *testing.T) {
+	m := model(t, exponential(t), utility.NewAdaptive())
+	sps := make([]*Sampling, 0, 4)
+	for _, s := range []int{1, 2, 4, 8} {
+		sp, err := NewSampling(m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sps = append(sps, sp)
+	}
+	prop := func(seedC float64) bool {
+		c := 1 + math.Mod(math.Abs(seedC), 600)
+		prev := math.Inf(1)
+		for _, sp := range sps {
+			b := sp.BestEffort(c)
+			if b > prev+1e-9 {
+				return false
+			}
+			prev = b
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKMaxOptimality(t *testing.T) {
+	// The admitted count kmax is never worse than its neighbors in
+	// fixed-load total utility.
+	models := propertyModels(t)
+	prop := func(seedM uint32, seedC float64) bool {
+		m := models[int(seedM)%len(models)]
+		c := 1 + math.Mod(math.Abs(seedC), 1000)
+		k := m.KMax(c)
+		v := m.FixedLoadTotal(c, k)
+		return v >= m.FixedLoadTotal(c, k-1)-1e-12 &&
+			v >= m.FixedLoadTotal(c, k+1)-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRetryBounded(t *testing.T) {
+	m := model(t, algebraic(t, 3), utility.NewAdaptive())
+	rt, err := NewRetry(m, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seedC float64) bool {
+		c := 120 + math.Mod(math.Abs(seedC), 800)
+		r, err := rt.Reservation(c)
+		if err != nil {
+			return false
+		}
+		fp, err := rt.Equilibrium(c)
+		if err != nil {
+			return false
+		}
+		// R̃ ∈ (0, 1]; the equilibrium load is inflated but consistent.
+		return r > 0 && r <= 1+1e-9 &&
+			fp.EffectiveMean >= kbar &&
+			math.Abs(fp.EffectiveMean-kbar*(1+fp.Retries)) < 1e-3*fp.EffectiveMean
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

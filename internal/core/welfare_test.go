@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"beqos/internal/utility"
+)
+
+func TestProvisionRejectsBadPrice(t *testing.T) {
+	m := model(t, poisson(t), rigid(t))
+	if _, err := m.ProvisionBestEffort(0); err == nil {
+		t.Error("zero price should fail")
+	}
+	if _, err := m.ProvisionReservation(-1); err == nil {
+		t.Error("negative price should fail")
+	}
+}
+
+func TestWelfareBasicShape(t *testing.T) {
+	// For every model: W_R(p) ≥ W_B(p) ≥ 0, both weakly decreasing in p,
+	// and C·p ≤ k̄ at the optimum (capacity is never bought beyond its
+	// possible value).
+	for name, m := range allModels(t) {
+		prevB, prevR := math.Inf(1), math.Inf(1)
+		for _, p := range []float64{0.01, 0.05, 0.2, 0.5} {
+			pb, err := m.ProvisionBestEffort(p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			pr, err := m.ProvisionReservation(p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if pb.Welfare < 0 || pr.Welfare < pb.Welfare-1e-6 {
+				t.Errorf("%s p=%g: W_B=%v W_R=%v violates 0 ≤ W_B ≤ W_R",
+					name, p, pb.Welfare, pr.Welfare)
+			}
+			if pb.Welfare > prevB+1e-6 || pr.Welfare > prevR+1e-6 {
+				t.Errorf("%s p=%g: welfare not decreasing in price", name, p)
+			}
+			prevB, prevR = pb.Welfare, pr.Welfare
+			if pb.Capacity*p > m.MeanLoad()+1e-6 {
+				t.Errorf("%s p=%g: spent %v exceeds max possible utility",
+					name, p, pb.Capacity*p)
+			}
+		}
+	}
+}
+
+func TestGammaAtLeastOne(t *testing.T) {
+	for name, m := range allModels(t) {
+		for _, p := range []float64{0.01, 0.1} {
+			g, err := m.GammaEqualize(p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if g < 1-1e-9 {
+				t.Errorf("%s: γ(%g) = %v < 1", name, p, g)
+			}
+		}
+	}
+}
+
+func TestPaperPoissonRigidGamma(t *testing.T) {
+	// §4: "The price ratio that makes two architectures equivalent varies,
+	// for most values of p, between 1.1 and 1.2" and provisioning stays
+	// below 1.4k̄ for all but the smallest prices.
+	m := model(t, poisson(t), rigid(t))
+	for _, p := range []float64{0.05, 0.1, 0.3} {
+		g, err := m.GammaEqualize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g < 1.05 || g > 1.25 {
+			t.Errorf("poisson/rigid γ(%g) = %v, paper ≈ 1.1–1.2", p, g)
+		}
+		pb, err := m.ProvisionBestEffort(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pb.Capacity > 1.4*kbar {
+			t.Errorf("poisson/rigid C_B(%g) = %v, paper < 1.4k̄", p, pb.Capacity)
+		}
+	}
+}
+
+func TestPaperPoissonAdaptiveGammaNearOne(t *testing.T) {
+	// §4: with adaptive applications under Poisson load the equalizing
+	// ratio is effectively 1 for all but the highest prices.
+	m := model(t, poisson(t), utility.NewAdaptive())
+	for _, p := range []float64{0.01, 0.1} {
+		g, err := m.GammaEqualize(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g > 1.01 {
+			t.Errorf("poisson/adaptive γ(%g) = %v, paper ≈ 1", p, g)
+		}
+	}
+}
+
+func TestPaperAlgebraicRigidGammaApproachesTwo(t *testing.T) {
+	// §4: for algebraic load with rigid applications,
+	// γ(p) → (z−1)^(1/(z−2)) = 2 for z = 3 as p → 0, and γ does NOT
+	// converge to 1 (the architectural advantage persists no matter how
+	// cheap bandwidth becomes).
+	m := model(t, algebraic(t, 3), rigid(t))
+	g, err := m.GammaEqualize(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-2) > 0.15 {
+		t.Errorf("alg/rigid γ(0.001) = %v, paper → 2", g)
+	}
+	gSmaller, err := m.GammaEqualize(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gSmaller-2) > math.Abs(g-2)+1e-3 {
+		t.Errorf("alg/rigid γ not converging to 2: γ(1e-3)=%v γ(1e-4)=%v", g, gSmaller)
+	}
+}
+
+func TestPaperAlgebraicAdaptiveGammaSmallButAboveOne(t *testing.T) {
+	// §4: "In the discrete case, γ(p) is approximately 1.02 as p
+	// approaches zero" for algebraic load with adaptive applications.
+	m := model(t, algebraic(t, 3), utility.NewAdaptive())
+	g, err := m.GammaEqualize(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 1.005 || g > 1.06 {
+		t.Errorf("alg/adaptive γ(0.001) = %v, paper ≈ 1.02", g)
+	}
+}
+
+func TestPaperExponentialGammaConvergesToOne(t *testing.T) {
+	// §4: for exponential (and Poisson) loads the equalizing ratio
+	// converges to 1 as bandwidth becomes cheap.
+	m := model(t, exponential(t), rigid(t))
+	g1, err := m.GammaEqualize(1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := m.GammaEqualize(1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(g2 < g1) {
+		t.Errorf("exp/rigid γ should decrease toward 1: γ(1e-2)=%v γ(1e-4)=%v", g1, g2)
+	}
+	if g2 > 1.35 {
+		t.Errorf("exp/rigid γ(1e-4) = %v, should be approaching 1", g2)
+	}
+}
+
+func TestExpensiveBandwidthZeroWelfare(t *testing.T) {
+	// At prices above the maximum marginal utility, building any network
+	// loses money; γ is reported as 1.
+	m := model(t, exponential(t), rigid(t))
+	pb, err := m.ProvisionBestEffort(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pb.Welfare != 0 || pb.Capacity != 0 {
+		t.Errorf("W_B(5) = %+v, want zero provisioning", pb)
+	}
+	g, err := m.GammaEqualize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 1 {
+		t.Errorf("γ(5) = %v, want 1 (degenerate)", g)
+	}
+}

@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"beqos/internal/numeric"
+)
+
+func checkContinuousInvariants(t *testing.T, d Continuous, name string) {
+	t.Helper()
+	// Density integrates to 1.
+	total := numeric.IntegrateToInf(d.PDF, 0, 1e-12)
+	if math.Abs(total-1) > 1e-7 {
+		t.Errorf("%s: ∫ pdf = %v", name, total)
+	}
+	// Mean matches quadrature.
+	mean := numeric.IntegrateToInf(func(x float64) float64 { return x * d.PDF(x) }, 0, 1e-12)
+	if math.Abs(mean-d.Mean()) > 1e-6*(1+d.Mean()) {
+		t.Errorf("%s: mean quadrature %v vs %v", name, mean, d.Mean())
+	}
+	for _, x := range []float64{0, 0.5, 1, 2, 10, 100} {
+		if math.Abs(d.CDF(x)+d.TailProb(x)-1) > 1e-12 {
+			t.Errorf("%s: CDF+Tail at %g = %v", name, x, d.CDF(x)+d.TailProb(x))
+		}
+		tm := numeric.IntegrateToInf(func(u float64) float64 { return u * d.PDF(u) }, x, 1e-12)
+		if math.Abs(tm-d.TailMean(x)) > 1e-6*(1+tm) {
+			t.Errorf("%s: TailMean(%g) quadrature %v vs %v", name, x, tm, d.TailMean(x))
+		}
+	}
+}
+
+func TestExpDensity(t *testing.T) {
+	e, err := NewExpDensity(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkContinuousInvariants(t, e, "exp")
+	if math.Abs(e.Mean()-100) > 1e-12 {
+		t.Errorf("mean: %v", e.Mean())
+	}
+	if _, err := NewExpDensity(0); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+func TestAlgDensity(t *testing.T) {
+	a, err := NewAlgDensity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkContinuousInvariants(t, a, "alg")
+	if want := 2.0; math.Abs(a.Mean()-want) > 1e-12 {
+		t.Errorf("mean: %v, want %v", a.Mean(), want)
+	}
+	if _, err := NewAlgDensity(2); err == nil {
+		t.Error("z = 2 should fail")
+	}
+}

@@ -1,0 +1,67 @@
+// Package dist implements the load distributions P(k) of the variable-load
+// model in Breslau & Shenker (SIGCOMM 1998): Poisson, exponential
+// (geometric), and the two-parameter algebraic (power-law) distribution, all
+// calibrated to a given mean offered load k̄, plus empirical distributions
+// measured from simulation and the derived views the paper's extensions
+// need (size-biased "flow's-eye" distribution and max-of-S order
+// statistics). It also provides the continuum-model densities.
+package dist
+
+// Discrete is a probability distribution over nonnegative integer load
+// levels k (the number of flows requesting service).
+//
+// Implementations must provide exact or near-machine-precision tails:
+// TailProb and TailMean are used by the model to bound truncation error, so
+// they must not themselves be naive truncated sums.
+type Discrete interface {
+	// PMF returns P(k). It is 0 for k outside the support (including k < 0).
+	PMF(k int) float64
+	// CDF returns P(K ≤ k). CDF(k) = 0 for k below the support.
+	CDF(k int) float64
+	// Mean returns the expected load k̄ = Σ k·P(k).
+	Mean() float64
+	// TailProb returns P(K > k) = Σ_{j>k} P(j).
+	TailProb(k int) float64
+	// TailMean returns Σ_{j>k} j·P(j), the mean mass in the tail.
+	TailMean(k int) float64
+	// Quantile returns the smallest k with CDF(k) ≥ p, for p in [0, 1).
+	Quantile(p float64) int
+}
+
+// Family is a distribution family parameterized by its mean, used by the
+// retry extension, which inflates the offered load while keeping the
+// distribution's shape.
+type Family interface {
+	Discrete
+	// WithMean returns a distribution of the same family (same shape
+	// parameters) recalibrated to the given mean.
+	WithMean(mean float64) (Discrete, error)
+}
+
+// quantileByScan finds the smallest k with CDF(k) ≥ p by doubling then
+// binary search, using only the distribution's CDF.
+func quantileByScan(d Discrete, p float64, start int) int {
+	if p <= 0 {
+		return 0
+	}
+	lo, hi := 0, start
+	if hi < 1 {
+		hi = 1
+	}
+	for d.CDF(hi) < p {
+		lo = hi
+		hi *= 2
+		if hi > 1<<40 {
+			return hi
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if d.CDF(mid) >= p {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

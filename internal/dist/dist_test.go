@@ -1,0 +1,309 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// sumPMF sums d.PMF over [0, top].
+func sumPMF(d Discrete, top int) float64 {
+	var s float64
+	for k := 0; k <= top; k++ {
+		s += d.PMF(k)
+	}
+	return s
+}
+
+// bruteTailMean computes Σ_{j>k} j·P(j) by brute force up to top.
+func bruteTailMean(d Discrete, k, top int) float64 {
+	var s float64
+	for j := k + 1; j <= top; j++ {
+		s += float64(j) * d.PMF(j)
+	}
+	return s
+}
+
+// bruteSquareTail computes Σ_{j>k} j²·P(j) by brute force up to top.
+func bruteSquareTail(d Discrete, k, top int) float64 {
+	var s float64
+	for j := k + 1; j <= top; j++ {
+		s += float64(j) * float64(j) * d.PMF(j)
+	}
+	return s
+}
+
+func checkDiscreteInvariants(t *testing.T, d Discrete, top int, tol float64) {
+	t.Helper()
+	if got := sumPMF(d, top); math.Abs(got-1) > tol {
+		t.Errorf("PMF does not normalize: Σ = %v", got)
+	}
+	if got := bruteTailMean(d, 0, top); math.Abs(got-d.Mean()) > tol*(1+d.Mean()) {
+		t.Errorf("Mean mismatch: brute %v vs Mean() %v", got, d.Mean())
+	}
+	for _, k := range []int{0, 1, 2, 5, 50, 100, 150, 400} {
+		cdf, tail := d.CDF(k), d.TailProb(k)
+		if math.Abs(cdf+tail-1) > tol {
+			t.Errorf("CDF(%d)+TailProb(%d) = %v, want 1", k, k, cdf+tail)
+		}
+		if brute := bruteTailMean(d, k, top); math.Abs(brute-d.TailMean(k)) > tol*(1+brute) {
+			t.Errorf("TailMean(%d): brute %v vs %v", k, brute, d.TailMean(k))
+		}
+		if d.CDF(k) < d.CDF(k-1)-1e-15 {
+			t.Errorf("CDF not monotone at %d", k)
+		}
+	}
+	for _, p := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.999, 0.999999} {
+		q := d.Quantile(p)
+		if d.CDF(q) < p {
+			t.Errorf("Quantile(%g) = %d but CDF = %v < p", p, q, d.CDF(q))
+		}
+		if q > 0 && d.CDF(q-1) >= p {
+			t.Errorf("Quantile(%g) = %d not minimal: CDF(%d) = %v", p, q, q-1, d.CDF(q-1))
+		}
+	}
+}
+
+func TestPoissonInvariants(t *testing.T) {
+	p, err := NewPoisson(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiscreteInvariants(t, p, 1000, 1e-10)
+	if math.Abs(p.Mean()-100) > 1e-12 {
+		t.Errorf("mean: %v", p.Mean())
+	}
+}
+
+func TestPoissonTinyTailPrecision(t *testing.T) {
+	p, _ := NewPoisson(100)
+	// P(K > 300) is astronomically small but must be positive and finite.
+	tail := p.TailProb(300)
+	if !(tail > 0 && tail < 1e-50) {
+		t.Errorf("TailProb(300) = %v, want tiny positive", tail)
+	}
+}
+
+func TestPoissonSquareTail(t *testing.T) {
+	p, _ := NewPoisson(100)
+	for _, k := range []int{0, 50, 100, 200} {
+		brute := bruteSquareTail(p, k, 1500)
+		got := p.SquareTailMean(k)
+		if math.Abs(brute-got) > 1e-7*(1+brute) {
+			t.Errorf("SquareTailMean(%d): brute %v vs %v", k, brute, got)
+		}
+	}
+	// E[K²] = ν² + ν.
+	if got := p.SquareTailMean(0); math.Abs(got-(100*100+100)) > 1e-6 {
+		t.Errorf("E[K²] = %v, want 10100", got)
+	}
+}
+
+func TestPoissonErrors(t *testing.T) {
+	for _, nu := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if _, err := NewPoisson(nu); err == nil {
+			t.Errorf("NewPoisson(%v) should fail", nu)
+		}
+	}
+}
+
+func TestExponentialInvariants(t *testing.T) {
+	e, err := NewExponentialMean(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiscreteInvariants(t, e, 20000, 1e-9)
+	if math.Abs(e.Mean()-100) > 1e-9 {
+		t.Errorf("calibrated mean: %v", e.Mean())
+	}
+	if want := math.Log(1.01); math.Abs(e.Beta()-want) > 1e-14 {
+		t.Errorf("beta: %v, want ln(1.01) = %v", e.Beta(), want)
+	}
+}
+
+func TestExponentialSquareTail(t *testing.T) {
+	e, _ := NewExponentialMean(20)
+	for _, k := range []int{0, 5, 40, 111} {
+		brute := bruteSquareTail(e, k, 5000)
+		got := e.SquareTailMean(k)
+		if math.Abs(brute-got) > 1e-8*(1+brute) {
+			t.Errorf("SquareTailMean(%d): brute %v vs %v", k, brute, got)
+		}
+	}
+}
+
+func TestExponentialErrors(t *testing.T) {
+	if _, err := NewExponential(0); err == nil {
+		t.Error("zero rate should fail")
+	}
+	if _, err := NewExponentialMean(-3); err == nil {
+		t.Error("negative mean should fail")
+	}
+}
+
+func TestAlgebraicInvariants(t *testing.T) {
+	a, err := NewAlgebraicMean(3.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The z = 3 tail converges slowly; rely on exact tails and check the
+	// head sum against 1 − TailProb.
+	const top = 200000
+	head := sumPMF(a, top)
+	if want := a.CDF(top); math.Abs(head-want) > 1e-9 {
+		t.Errorf("head sum %v vs CDF %v", head, want)
+	}
+	if math.Abs(head+a.TailProb(top)-1) > 1e-9 {
+		t.Errorf("head + exact tail = %v, want 1", head+a.TailProb(top))
+	}
+	if math.Abs(a.Mean()-100) > 1e-6 {
+		t.Errorf("calibrated mean: %v", a.Mean())
+	}
+	// TailMean against brute force + exact remainder.
+	for _, k := range []int{0, 10, 100, 1000} {
+		brute := bruteTailMean(a, k, top) + a.TailMean(top)
+		got := a.TailMean(k)
+		if math.Abs(brute-got) > 1e-8*(1+brute) {
+			t.Errorf("TailMean(%d): brute %v vs %v", k, brute, got)
+		}
+	}
+	for _, p := range []float64{0.5, 0.9, 0.999} {
+		q := a.Quantile(p)
+		if a.CDF(q) < p || (q > 1 && a.CDF(q-1) >= p) {
+			t.Errorf("Quantile(%g) = %d inconsistent", p, q)
+		}
+	}
+}
+
+func TestAlgebraicSquareTail(t *testing.T) {
+	a, err := NewAlgebraicMean(4.0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const top = 300000
+	for _, k := range []int{0, 7, 90} {
+		// Close the brute-force sum with the exact remainder beyond top
+		// (for z = 4 the j² tail decays only like 1/j²).
+		brute := bruteSquareTail(a, k, top) + a.SquareTailMean(top)
+		got := a.SquareTailMean(k)
+		if math.Abs(brute-got) > 1e-8*(1+brute) {
+			t.Errorf("SquareTailMean(%d): brute %v vs %v", k, brute, got)
+		}
+	}
+	a3, _ := NewAlgebraicMean(3.0, 100)
+	if !math.IsInf(a3.SquareTailMean(0), 1) {
+		t.Error("z = 3 second moment should be +Inf")
+	}
+}
+
+func TestAlgebraicErrors(t *testing.T) {
+	if _, err := NewAlgebraic(2.0, 1); err == nil {
+		t.Error("z = 2 should fail")
+	}
+	if _, err := NewAlgebraic(3, -1); err == nil {
+		t.Error("negative lambda should fail")
+	}
+	if _, err := NewAlgebraicMean(3, 0.5); err == nil {
+		t.Error("unachievably small mean should fail")
+	}
+}
+
+func TestAlgebraicMeanGrowsWithLambda(t *testing.T) {
+	prev := 0.0
+	for _, l := range []float64{0, 1, 10, 100, 1000} {
+		a, err := NewAlgebraic(3, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := a.Mean()
+		if m <= prev {
+			t.Errorf("mean not increasing: λ=%g mean=%v prev=%v", l, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestFamilyWithMean(t *testing.T) {
+	fams := []Family{
+		mustPoisson(t, 100),
+		mustExpMean(t, 100),
+		mustAlgMean(t, 3, 100),
+	}
+	for _, f := range fams {
+		d, err := f.WithMean(150)
+		if err != nil {
+			t.Fatalf("%T: %v", f, err)
+		}
+		if math.Abs(d.Mean()-150) > 1e-6 {
+			t.Errorf("%T rescaled mean: %v", f, d.Mean())
+		}
+	}
+}
+
+func mustPoisson(t *testing.T, nu float64) Poisson {
+	t.Helper()
+	p, err := NewPoisson(nu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustExpMean(t *testing.T, m float64) Exponential {
+	t.Helper()
+	e, err := NewExponentialMean(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustAlgMean(t *testing.T, z, m float64) Algebraic {
+	t.Helper()
+	a, err := NewAlgebraicMean(z, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAlgebraicHugeMeanUsesQuadratureTails(t *testing.T) {
+	// Means far above the switch-point regime exercise the capped prefix
+	// plus quadrature tail path; invariants must still hold.
+	a, err := NewAlgebraicMean(3, 5e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Mean()-5e4) > 1 {
+		t.Errorf("calibrated mean = %v", a.Mean())
+	}
+	if got := a.CDF(10) + a.TailProb(10); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CDF+Tail = %v", got)
+	}
+	// The tail beyond the mean still carries the power-law mass.
+	if tp := a.TailProb(int(2 * a.Mean())); !(tp > 0 && tp < 0.5) {
+		t.Errorf("TailProb(2·mean) = %v", tp)
+	}
+	q := a.Quantile(0.5)
+	if a.CDF(q) < 0.5 || (q > 1 && a.CDF(q-1) >= 0.5) {
+		t.Errorf("median %d inconsistent", q)
+	}
+}
+
+// bareDiscrete hides optional interfaces (SquareTailer, RealPMF).
+type bareDiscrete struct{ Discrete }
+
+func TestSquareTailGenericFallback(t *testing.T) {
+	base := mustPoisson(t, 30)
+	wrapped := bareDiscrete{base}
+	q, err := NewSizeBiased(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fallback summation must match the exact Poisson identity.
+	exact, _ := NewSizeBiased(base)
+	for _, k := range []int{0, 10, 40} {
+		if a, b := q.TailMean(k), exact.TailMean(k); math.Abs(a-b) > 1e-6*(1+b) {
+			t.Errorf("fallback TailMean(%d) = %v vs exact %v", k, a, b)
+		}
+	}
+}

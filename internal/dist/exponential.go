@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Exponential is the exponentially decaying (geometric) load distribution of
+// the paper, P(k) = (1 − e^(−β)) e^(−βk) for k ≥ 0. Its mean is
+// k̄ = 1/(e^β − 1), so β = ln(1 + 1/k̄).
+type Exponential struct {
+	beta float64
+	q    float64 // e^(−β)
+}
+
+// NewExponential returns the distribution with decay rate beta > 0.
+func NewExponential(beta float64) (Exponential, error) {
+	if !(beta > 0) || math.IsInf(beta, 0) {
+		return Exponential{}, fmt.Errorf("dist: exponential rate must be positive and finite, got %g", beta)
+	}
+	return Exponential{beta: beta, q: math.Exp(-beta)}, nil
+}
+
+// NewExponentialMean returns the distribution calibrated to the given mean,
+// i.e. with β = ln(1 + 1/mean).
+func NewExponentialMean(mean float64) (Exponential, error) {
+	if !(mean > 0) {
+		return Exponential{}, fmt.Errorf("dist: exponential mean must be positive, got %g", mean)
+	}
+	return NewExponential(math.Log1p(1 / mean))
+}
+
+// Beta returns the decay rate β.
+func (e Exponential) Beta() float64 { return e.beta }
+
+// PMF returns P(k).
+func (e Exponential) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	return (1 - e.q) * math.Exp(-e.beta*float64(k))
+}
+
+// CDF returns P(K ≤ k) = 1 − e^(−β(k+1)).
+func (e Exponential) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	return -math.Expm1(-e.beta * float64(k+1))
+}
+
+// Mean returns 1/(e^β − 1).
+func (e Exponential) Mean() float64 { return 1 / math.Expm1(e.beta) }
+
+// TailProb returns P(K > k) = e^(−β(k+1)).
+func (e Exponential) TailProb(k int) float64 {
+	if k < 0 {
+		return 1
+	}
+	return math.Exp(-e.beta * float64(k+1))
+}
+
+// TailMean returns Σ_{j>k} j·P(j) = q^(k+1)·((k+1) − kq)/(1−q) where
+// q = e^(−β) (closed form for the geometric series derivative).
+func (e Exponential) TailMean(k int) float64 {
+	if k < 0 {
+		return e.Mean()
+	}
+	kf := float64(k)
+	return math.Pow(e.q, kf+1) * ((kf + 1) - kf*e.q) / (1 - e.q)
+}
+
+// Quantile returns the smallest k with CDF(k) ≥ p, in closed form.
+func (e Exponential) Quantile(p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		p = math.Nextafter(1, 0)
+	}
+	k := int(math.Ceil(-math.Log1p(-p)/e.beta - 1))
+	if k < 0 {
+		k = 0
+	}
+	// Guard against floating-point edge effects at the boundary.
+	for e.CDF(k) < p {
+		k++
+	}
+	for k > 0 && e.CDF(k-1) >= p {
+		k--
+	}
+	return k
+}
+
+// WithMean implements Family.
+func (e Exponential) WithMean(mean float64) (Discrete, error) {
+	d, err := NewExponentialMean(mean)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

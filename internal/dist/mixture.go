@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mixture is a convex combination of load distributions: with probability
+// w_i the link faces component i's load. It models the paper's §5
+// "nonstationary loads" extension — e.g. diurnal alternation between a
+// high-load and a low-load regime — where the probability distribution of
+// loads is itself a mixture rather than a single stationary family.
+//
+// All moments and tails are exact weighted sums of the components', so the
+// asymptotic machinery (and the paper's conclusion that nonstationarity
+// leaves the large-C asymptotics to the heaviest component) carries over
+// unchanged.
+type Mixture struct {
+	comps   []Discrete
+	weights []float64
+	mean    float64
+}
+
+// NewMixture returns the mixture of comps with the given nonnegative
+// weights (normalized at construction).
+func NewMixture(comps []Discrete, weights []float64) (*Mixture, error) {
+	if len(comps) == 0 || len(comps) != len(weights) {
+		return nil, fmt.Errorf("dist: mixture needs matching non-empty components and weights (%d vs %d)", len(comps), len(weights))
+	}
+	var total float64
+	for i, w := range weights {
+		if comps[i] == nil {
+			return nil, fmt.Errorf("dist: mixture component %d is nil", i)
+		}
+		if !(w >= 0) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("dist: mixture weight %d = %g is invalid", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("dist: mixture weights sum to %g; need positive mass", total)
+	}
+	m := &Mixture{
+		comps:   append([]Discrete(nil), comps...),
+		weights: make([]float64, len(weights)),
+	}
+	for i, w := range weights {
+		m.weights[i] = w / total
+		m.mean += m.weights[i] * comps[i].Mean()
+	}
+	return m, nil
+}
+
+// Components returns the number of components.
+func (m *Mixture) Components() int { return len(m.comps) }
+
+// PMF returns Σ w_i·P_i(k).
+func (m *Mixture) PMF(k int) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * c.PMF(k)
+	}
+	return s
+}
+
+// CDF returns Σ w_i·F_i(k).
+func (m *Mixture) CDF(k int) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * c.CDF(k)
+	}
+	return s
+}
+
+// Mean returns Σ w_i·k̄_i.
+func (m *Mixture) Mean() float64 { return m.mean }
+
+// TailProb returns Σ w_i·P_i(K > k).
+func (m *Mixture) TailProb(k int) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * c.TailProb(k)
+	}
+	return s
+}
+
+// TailMean returns Σ w_i·TailMean_i(k).
+func (m *Mixture) TailMean(k int) float64 {
+	var s float64
+	for i, c := range m.comps {
+		s += m.weights[i] * c.TailMean(k)
+	}
+	return s
+}
+
+// SquareTailMean returns Σ w_i·SquareTailMean_i(k) (+Inf if any component
+// with positive weight diverges).
+func (m *Mixture) SquareTailMean(k int) float64 {
+	var s float64
+	for i, c := range m.comps {
+		if m.weights[i] == 0 {
+			continue
+		}
+		s += m.weights[i] * squareTail(c, k)
+	}
+	return s
+}
+
+// Quantile returns the smallest k with CDF(k) ≥ p.
+func (m *Mixture) Quantile(p float64) int {
+	return quantileByScan(m, p, int(m.mean)+1)
+}
+
+// PMFAt implements RealPMF. Components without a smooth extension
+// contribute their PMF at the nearest integer — a piecewise-constant
+// extension whose unit-cell integrals still equal the exact sums, so the
+// midpoint tail acceleration stays correct for mixtures of smooth and
+// finite-support components.
+func (m *Mixture) PMFAt(x float64) float64 {
+	var s float64
+	for i, c := range m.comps {
+		if rp, ok := c.(RealPMF); ok {
+			s += m.weights[i] * rp.PMFAt(x)
+		} else {
+			s += m.weights[i] * c.PMF(int(math.Round(x)))
+		}
+	}
+	return s
+}

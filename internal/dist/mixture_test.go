@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMixtureValidation(t *testing.T) {
+	p := mustPoisson(t, 10)
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture should fail")
+	}
+	if _, err := NewMixture([]Discrete{p}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := NewMixture([]Discrete{nil}, []float64{1}); err == nil {
+		t.Error("nil component should fail")
+	}
+	if _, err := NewMixture([]Discrete{p}, []float64{-1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewMixture([]Discrete{p}, []float64{0}); err == nil {
+		t.Error("zero total weight should fail")
+	}
+}
+
+func TestMixtureSingleComponentIsIdentity(t *testing.T) {
+	p := mustPoisson(t, 40)
+	m, err := NewMixture([]Discrete{p}, []float64{7}) // weight normalizes away
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 10, 40, 80} {
+		if math.Abs(m.PMF(k)-p.PMF(k)) > 1e-15 {
+			t.Errorf("PMF(%d) differs", k)
+		}
+		if math.Abs(m.TailMean(k)-p.TailMean(k)) > 1e-12 {
+			t.Errorf("TailMean(%d) differs", k)
+		}
+	}
+	if math.Abs(m.Mean()-40) > 1e-12 {
+		t.Errorf("mean = %v", m.Mean())
+	}
+}
+
+func TestMixtureInvariants(t *testing.T) {
+	// A bimodal "diurnal" load: low regime around 30, high regime around
+	// 150.
+	lo := mustPoisson(t, 30)
+	hi := mustPoisson(t, 150)
+	m, err := NewMixture([]Discrete{lo, hi}, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiscreteInvariants(t, m, 600, 1e-9)
+	if want := 0.7*30 + 0.3*150; math.Abs(m.Mean()-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", m.Mean(), want)
+	}
+	if m.Components() != 2 {
+		t.Errorf("components = %d", m.Components())
+	}
+}
+
+func TestMixtureHeavyComponentDominatesTail(t *testing.T) {
+	light := mustExpMean(t, 100)
+	heavy := mustAlgMean(t, 3, 100)
+	m, err := NewMixture([]Discrete{light, heavy}, []float64{0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far in the tail, the exponential contribution has vanished and the
+	// mixture tail is 0.1 × the algebraic tail.
+	for _, k := range []int{3000, 10000} {
+		got := m.TailProb(k)
+		want := 0.1 * heavy.TailProb(k)
+		if math.Abs(got-want) > 1e-3*want {
+			t.Errorf("TailProb(%d) = %v, want ≈ %v", k, got, want)
+		}
+	}
+}
+
+func TestMixturePMFAtSmoothAndEmpirical(t *testing.T) {
+	alg := mustAlgMean(t, 3, 50)
+	emp, err := NewEmpirical([]float64{0, 1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMixture([]Discrete{alg, emp}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At integers, PMFAt agrees with PMF.
+	for _, k := range []int{1, 2, 3, 10, 100} {
+		if got, want := m.PMFAt(float64(k)), m.PMF(k); math.Abs(got-want) > 1e-15 {
+			t.Errorf("PMFAt(%d) = %v, PMF = %v", k, got, want)
+		}
+	}
+	// Beyond the empirical support, only the smooth component remains.
+	if got, want := m.PMFAt(55.5), 0.5*alg.PMFAt(55.5); math.Abs(got-want) > 1e-15 {
+		t.Errorf("PMFAt(55.5) = %v, want %v", got, want)
+	}
+}
+
+func TestMixtureSquareTail(t *testing.T) {
+	a := mustPoisson(t, 20)
+	b := mustExpMean(t, 50)
+	m, err := NewMixture([]Discrete{a, b}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 10, 60} {
+		want := 0.5*a.SquareTailMean(k) + 0.5*b.SquareTailMean(k)
+		if got := m.SquareTailMean(k); math.Abs(got-want) > 1e-9*(1+want) {
+			t.Errorf("SquareTailMean(%d) = %v, want %v", k, got, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Poisson is the Poisson load distribution of the paper,
+// P(k) = ν^k e^(−ν) / k!, describing load tightly concentrated around its
+// mean ν with extremely rare excursions.
+type Poisson struct {
+	nu float64
+}
+
+// NewPoisson returns a Poisson load distribution with mean nu > 0.
+func NewPoisson(nu float64) (Poisson, error) {
+	if !(nu > 0) || math.IsInf(nu, 0) {
+		return Poisson{}, fmt.Errorf("dist: Poisson mean must be positive and finite, got %g", nu)
+	}
+	return Poisson{nu: nu}, nil
+}
+
+// PMF returns P(k), evaluated in log space to stay finite for large k.
+func (p Poisson) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(p.nu) - p.nu - lg)
+}
+
+// CDF returns P(K ≤ k).
+func (p Poisson) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	// Sum the PMF directly; the support that matters is O(ν + sqrt(ν)·40).
+	var s, comp float64
+	for j := 0; j <= k; j++ {
+		t := p.PMF(j)
+		y := t - comp
+		ns := s + y
+		comp = (ns - s) - y
+		s = ns
+		// Once far past the mode, remaining terms underflow.
+		if float64(j) > p.nu && t < 1e-320 {
+			break
+		}
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Mean returns ν.
+func (p Poisson) Mean() float64 { return p.nu }
+
+// TailProb returns P(K > k).
+func (p Poisson) TailProb(k int) float64 {
+	if k < 0 {
+		return 1
+	}
+	// For k below the mean, 1 − CDF is well conditioned; above the mean sum
+	// the tail directly so tiny tails are not lost to cancellation.
+	if float64(k) < p.nu {
+		return 1 - p.CDF(k)
+	}
+	var s, comp float64
+	for j := k + 1; ; j++ {
+		t := p.PMF(j)
+		y := t - comp
+		ns := s + y
+		comp = (ns - s) - y
+		s = ns
+		if float64(j) > p.nu && (t < 1e-320 || t < 1e-18*s) {
+			break
+		}
+	}
+	return s
+}
+
+// TailMean returns Σ_{j>k} j·P(j) = ν·P(K > k−1), using the Poisson identity
+// j·P(j; ν) = ν·P(j−1; ν).
+func (p Poisson) TailMean(k int) float64 {
+	return p.nu * p.TailProb(k-1)
+}
+
+// Quantile returns the smallest k with CDF(k) ≥ q.
+func (p Poisson) Quantile(q float64) int {
+	return quantileByScan(p, q, int(p.nu)+1)
+}
+
+// WithMean implements Family.
+func (p Poisson) WithMean(mean float64) (Discrete, error) {
+	d, err := NewPoisson(mean)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpiricalBasics(t *testing.T) {
+	e, err := NewEmpirical([]float64{0, 2, 4, 2, 0, 2}) // mass at 1,2,3,5
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDiscreteInvariants(t, e, 10, 1e-12)
+	want := (1*2 + 2*4 + 3*2 + 5*2) / 10.0
+	if math.Abs(e.Mean()-want) > 1e-12 {
+		t.Errorf("mean: %v, want %v", e.Mean(), want)
+	}
+	if e.PMF(99) != 0 || e.PMF(-1) != 0 {
+		t.Error("PMF outside support should be 0")
+	}
+	if e.CDF(99) != 1 {
+		t.Error("CDF beyond support should be 1")
+	}
+}
+
+func TestEmpiricalErrors(t *testing.T) {
+	if _, err := NewEmpirical([]float64{0, 0}); err == nil {
+		t.Error("zero mass should fail")
+	}
+	if _, err := NewEmpirical([]float64{1, -1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewEmpirical([]float64{math.NaN()}); err == nil {
+		t.Error("NaN weight should fail")
+	}
+}
+
+func TestSizeBiasedAgainstBrute(t *testing.T) {
+	bases := []Discrete{
+		mustPoisson(t, 50),
+		mustExpMean(t, 30),
+		mustAlgMean(t, 3.5, 20),
+	}
+	for _, base := range bases {
+		q, err := NewSizeBiased(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kbar := base.Mean()
+		for _, k := range []int{1, 5, 30, 77} {
+			want := float64(k) * base.PMF(k) / kbar
+			if got := q.PMF(k); math.Abs(got-want) > 1e-14 {
+				t.Errorf("%T Q(%d): %v vs %v", base, k, got, want)
+			}
+		}
+		// Q normalizes.
+		top := base.Quantile(1 - 1e-13)
+		var s float64
+		for k := 1; k <= top; k++ {
+			s += q.PMF(k)
+		}
+		s += q.TailProb(top)
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("%T size-biased mass: %v", base, s)
+		}
+		// CDF + TailProb = 1.
+		for _, k := range []int{1, 10, 40} {
+			if math.Abs(q.CDF(k)+q.TailProb(k)-1) > 1e-12 {
+				t.Errorf("%T CDF/Tail inconsistent at %d", base, k)
+			}
+		}
+	}
+}
+
+func TestSizeBiasedPoissonMean(t *testing.T) {
+	// For Poisson, E_Q[K] = E[K²]/ν = ν + 1.
+	base := mustPoisson(t, 100)
+	q, _ := NewSizeBiased(base)
+	if got := q.Mean(); math.Abs(got-101) > 1e-6 {
+		t.Errorf("size-biased Poisson mean: %v, want 101", got)
+	}
+}
+
+func TestSizeBiasedHeavyTailInfiniteMean(t *testing.T) {
+	base := mustAlgMean(t, 3.0, 100)
+	q, _ := NewSizeBiased(base)
+	if !math.IsInf(q.Mean(), 1) {
+		t.Errorf("size-biased algebraic z=3 mean should be +Inf, got %v", q.Mean())
+	}
+}
+
+func TestSizeBiasedErrors(t *testing.T) {
+	e, _ := NewEmpirical([]float64{1}) // all mass at 0 → mean 0
+	if _, err := NewSizeBiased(e); err == nil {
+		t.Error("zero-mean base should fail")
+	}
+}
+
+func TestMaxOfOneIsBase(t *testing.T) {
+	base := mustExpMean(t, 25)
+	m, err := NewMaxOfS(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 1, 10, 100} {
+		if math.Abs(m.PMF(k)-base.PMF(k)) > 1e-14 {
+			t.Errorf("PMF(%d) differs: %v vs %v", k, m.PMF(k), base.PMF(k))
+		}
+		if math.Abs(m.TailProb(k)-base.TailProb(k)) > 1e-12 {
+			t.Errorf("TailProb(%d) differs", k)
+		}
+	}
+	if math.Abs(m.Mean()-base.Mean()) > 1e-6*(1+base.Mean()) {
+		t.Errorf("mean differs: %v vs %v", m.Mean(), base.Mean())
+	}
+}
+
+func TestMaxOfSCDFPower(t *testing.T) {
+	base := mustPoisson(t, 40)
+	prop := func(seedK, seedS uint32) bool {
+		k := int(seedK % 120)
+		s := int(seedS%8) + 1
+		m, err := NewMaxOfS(base, s)
+		if err != nil {
+			return false
+		}
+		want := math.Pow(base.CDF(k), float64(s))
+		return math.Abs(m.CDF(k)-want) < 1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxOfSNormalizes(t *testing.T) {
+	base := mustExpMean(t, 15)
+	m, _ := NewMaxOfS(base, 5)
+	top := base.Quantile(1 - 1e-12)
+	var s float64
+	for k := 0; k <= top; k++ {
+		s += m.PMF(k)
+	}
+	s += m.TailProb(top)
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("max-of-5 mass: %v", s)
+	}
+}
+
+func TestMaxOfSMeanMonotoneInS(t *testing.T) {
+	base := mustPoisson(t, 30)
+	prev := 0.0
+	for s := 1; s <= 8; s *= 2 {
+		m, _ := NewMaxOfS(base, s)
+		mean := m.Mean()
+		if mean < prev {
+			t.Errorf("mean not monotone in S: S=%d mean=%v prev=%v", s, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestMaxOfSTailMeanAgainstBrute(t *testing.T) {
+	base := mustExpMean(t, 10)
+	m, _ := NewMaxOfS(base, 3)
+	for _, k := range []int{0, 4, 25} {
+		brute := bruteTailMean(m, k, 3000)
+		got := m.TailMean(k)
+		if math.Abs(brute-got) > 1e-6*(1+brute) {
+			t.Errorf("TailMean(%d): brute %v vs %v", k, brute, got)
+		}
+	}
+}
+
+func TestMaxOfSQuantile(t *testing.T) {
+	base := mustPoisson(t, 60)
+	m, _ := NewMaxOfS(base, 4)
+	for _, p := range []float64{0.1, 0.5, 0.99} {
+		q := m.Quantile(p)
+		if m.CDF(q) < p {
+			t.Errorf("Quantile(%g)=%d: CDF=%v < p", p, q, m.CDF(q))
+		}
+		if q > 0 && m.CDF(q-1) >= p {
+			t.Errorf("Quantile(%g)=%d not minimal", p, q)
+		}
+	}
+}
+
+func TestMaxOfSErrors(t *testing.T) {
+	if _, err := NewMaxOfS(mustPoisson(t, 5), 0); err == nil {
+		t.Error("S = 0 should fail")
+	}
+}
+
+func TestSamplingViewComposition(t *testing.T) {
+	// The sampling extension composes size-biased + max-of-S; the composed
+	// distribution must still normalize.
+	base := mustAlgMean(t, 3.0, 100)
+	q, err := NewSizeBiased(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaxOfS(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const top = 100000
+	var s float64
+	for k := 1; k <= top; k++ {
+		s += m.PMF(k)
+	}
+	s += m.TailProb(top)
+	if math.Abs(s-1) > 1e-8 {
+		t.Errorf("composed mass: %v", s)
+	}
+}
+
+func TestEmpiricalFromSamples(t *testing.T) {
+	e, err := NewEmpiricalSamples([]int{2, 2, 3, 5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PMF(2); math.Abs(got-0.6) > 1e-15 {
+		t.Errorf("P(2) = %v, want 0.6", got)
+	}
+	if got := e.Mean(); math.Abs(got-14.0/5) > 1e-12 {
+		t.Errorf("mean = %v, want 2.8", got)
+	}
+	if _, err := NewEmpiricalSamples(nil); err == nil {
+		t.Error("empty samples should fail")
+	}
+	if _, err := NewEmpiricalSamples([]int{1, -2}); err == nil {
+		t.Error("negative sample should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package numeric
+
+import "math"
+
+// LambertW0 computes the principal branch W₀ of the Lambert W function:
+// the solution w ≥ −1 of w·e^w = x, defined for x ≥ −1/e.
+// It returns NaN for x < −1/e.
+func LambertW0(x float64) float64 {
+	const negInvE = -1.0 / math.E
+	switch {
+	case math.IsNaN(x) || x < negInvE:
+		return math.NaN()
+	case x == 0:
+		return 0
+	case x == negInvE:
+		return -1
+	}
+	// Initial guess.
+	var w float64
+	if x < 1 {
+		// Series around the branch point for x near −1/e, else simple start.
+		p := math.Sqrt(2 * (math.E*x + 1))
+		w = -1 + p - p*p/3 + 11*p*p*p/72
+	} else {
+		w = math.Log(x)
+		if w > 3 {
+			w -= math.Log(w)
+		}
+	}
+	return halleyW(x, w)
+}
+
+// LambertWm1 computes the secondary real branch W₋₁: the solution w ≤ −1 of
+// w·e^w = x, defined for x ∈ [−1/e, 0). It returns NaN outside that domain.
+func LambertWm1(x float64) float64 {
+	const negInvE = -1.0 / math.E
+	if math.IsNaN(x) || x < negInvE || x >= 0 {
+		return math.NaN()
+	}
+	if x == negInvE {
+		return -1
+	}
+	// Initial guess: w ≈ ln(−x) − ln(−ln(−x)).
+	l1 := math.Log(-x)
+	w := l1
+	if -l1 > 0 {
+		w = l1 - math.Log(-l1)
+	}
+	if w > -1 {
+		w = -1.000001
+	}
+	return halleyW(x, w)
+}
+
+// halleyW refines w·e^w = x by Halley's method.
+func halleyW(x, w float64) float64 {
+	for i := 0; i < 100; i++ {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			return w
+		}
+		d := ew*(w+1) - (w+2)*f/(2*(w+1))
+		dw := f / d
+		nw := w - dw
+		if math.Abs(nw-w) <= 1e-14*(1+math.Abs(nw)) {
+			return nw
+		}
+		w = nw
+	}
+	return w
+}

@@ -1,0 +1,88 @@
+package numeric
+
+import "math"
+
+// invPhi is 1/φ, the golden-section step ratio.
+const invPhi = 0.6180339887498949
+
+// GoldenMax maximizes a unimodal function f on [a, b] by golden-section
+// search, returning the maximizing argument and the maximum value. tol is the
+// absolute argument tolerance.
+func GoldenMax(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	c := b - (b-a)*invPhi
+	d := a + (b-a)*invPhi
+	fc, fd := f(c), f(d)
+	for b-a > tol {
+		if fc >= fd {
+			b, d, fd = d, c, fc
+			c = b - (b-a)*invPhi
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + (b-a)*invPhi
+			fd = f(d)
+		}
+	}
+	x = a + (b-a)/2
+	return x, f(x)
+}
+
+// MaxScan maximizes f on [a, b] without assuming unimodality: it evaluates f
+// on an n-point grid, then refines around the best grid point with a
+// golden-section search. It returns the maximizing argument and value.
+// The grid guards against the piecewise-linear / stepped value functions that
+// arise with rigid utilities, for which pure golden-section can stall on a
+// local plateau.
+func MaxScan(f func(float64) float64, a, b float64, n int, tol float64) (x, fx float64) {
+	if n < 3 {
+		n = 3
+	}
+	bestX, bestF := a, math.Inf(-1)
+	h := (b - a) / float64(n-1)
+	for i := 0; i < n; i++ {
+		xi := a + h*float64(i)
+		fi := f(xi)
+		if fi > bestF {
+			bestX, bestF = xi, fi
+		}
+	}
+	lo := math.Max(a, bestX-h)
+	hi := math.Min(b, bestX+h)
+	gx, gf := GoldenMax(f, lo, hi, tol)
+	if gf >= bestF {
+		return gx, gf
+	}
+	return bestX, bestF
+}
+
+// MaxScanLog is MaxScan on a logarithmic grid, for objectives whose
+// interesting scale spans orders of magnitude (e.g. capacity vs price
+// sweeps). a must be positive.
+func MaxScanLog(f func(float64) float64, a, b float64, n int, tol float64) (x, fx float64) {
+	if a <= 0 {
+		return MaxScan(f, math.Max(a, 1e-12), b, n, tol)
+	}
+	g := func(u float64) float64 { return f(math.Exp(u)) }
+	u, _ := MaxScan(g, math.Log(a), math.Log(b), n, math.Min(tol, 1e-10))
+	// Refine in linear space around the log-grid winner.
+	la, lb := math.Exp(u)/1.5, math.Exp(u)*1.5
+	if la < a {
+		la = a
+	}
+	if lb > b {
+		lb = b
+	}
+	return MaxScan(f, la, lb, 64, tol)
+}
+
+// ArgmaxInt maximizes g over the integers [lo, hi] by direct scan, returning
+// the smallest maximizing integer and the maximum value.
+func ArgmaxInt(g func(int) float64, lo, hi int) (int, float64) {
+	bestK, bestV := lo, math.Inf(-1)
+	for k := lo; k <= hi; k++ {
+		if v := g(k); v > bestV {
+			bestK, bestV = k, v
+		}
+	}
+	return bestK, bestV
+}

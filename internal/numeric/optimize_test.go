@@ -1,0 +1,83 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoldenMaxParabola(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 2) * (x - 2) }
+	x, fx := GoldenMax(f, -10, 10, 1e-10)
+	almostEqual(t, x, 2, 1e-7, "argmax")
+	almostEqual(t, fx, 0, 1e-12, "max value")
+}
+
+func TestGoldenMaxProperty(t *testing.T) {
+	// Any downward parabola with vertex in the interval is found.
+	prop := func(seed float64) bool {
+		v := math.Mod(math.Abs(seed), 8) - 4
+		f := func(x float64) float64 { return -(x - v) * (x - v) }
+		x, _ := GoldenMax(f, -5, 5, 1e-10)
+		return math.Abs(x-v) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxScanMultimodal(t *testing.T) {
+	// f has local maxima near x ≈ π/2 + 2πn with a rising envelope; on
+	// [0, 14.5] the global max is the interior peak at x = π/2 + 4π.
+	f := func(x float64) float64 { return math.Sin(x) + 0.05*x }
+	x, fx := MaxScan(f, 0, 14.5, 256, 1e-10)
+	want := 4*math.Pi + math.Acos(-0.05) // stationary point near π/2 + 4π
+	if math.Abs(x-want) > 0.01 {
+		t.Errorf("argmax: got %v, want ≈ %v", x, want)
+	}
+	if fx < f(want)-1e-6 {
+		t.Errorf("max value too small: %v", fx)
+	}
+}
+
+func TestMaxScanStepFunction(t *testing.T) {
+	// A step objective minus a linear cost: max is at the step.
+	f := func(x float64) float64 {
+		v := math.Floor(x)
+		return v - 0.4*x
+	}
+	x, _ := MaxScan(f, 0, 10.5, 2048, 1e-9)
+	// Every integer step gains 1 at cost 0.4, so the best point is the last
+	// step at x = 10.
+	if math.Abs(x-10) > 0.01 {
+		t.Errorf("argmax: got %v, want 10", x)
+	}
+}
+
+func TestMaxScanLog(t *testing.T) {
+	// Peak at x = 100 on a domain spanning 6 decades.
+	f := func(x float64) float64 {
+		l := math.Log(x / 100)
+		return -l * l
+	}
+	x, _ := MaxScanLog(f, 1e-3, 1e3, 512, 1e-9)
+	if math.Abs(x-100) > 0.5 {
+		t.Errorf("argmax: got %v, want 100", x)
+	}
+}
+
+func TestArgmaxInt(t *testing.T) {
+	g := func(k int) float64 { return -float64(k-7) * float64(k-7) }
+	k, v := ArgmaxInt(g, 0, 100)
+	if k != 7 || v != 0 {
+		t.Errorf("got (%d, %v), want (7, 0)", k, v)
+	}
+}
+
+func TestArgmaxIntTiesPickSmallest(t *testing.T) {
+	g := func(k int) float64 { return 1 }
+	k, _ := ArgmaxInt(g, 3, 10)
+	if k != 3 {
+		t.Errorf("got %d, want 3", k)
+	}
+}

@@ -1,0 +1,174 @@
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned when a root-finding routine cannot bracket a sign
+// change in the supplied interval.
+var ErrNoBracket = errors.New("numeric: no sign change in bracket")
+
+// ErrNoConverge is returned when an iterative routine exhausts its iteration
+// budget without meeting its tolerance.
+var ErrNoConverge = errors.New("numeric: iteration did not converge")
+
+// Bisect finds a root of f in [a, b] by bisection. f(a) and f(b) must have
+// opposite signs (zero endpoint values are accepted as roots). The result is
+// accurate to within tol in the argument.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.IsNaN(fa) || math.IsNaN(fb) || fa*fb > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < 200; i++ {
+		m := a + (b-a)/2
+		if b-a <= tol || m == a || m == b {
+			return m, nil
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if fa*fm < 0 {
+			b = m
+		} else {
+			a, fa = m, fm
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// Brent finds a root of f in [a, b] using Brent's method (inverse quadratic
+// interpolation with bisection fallback). f(a) and f(b) must have opposite
+// signs. tol is the absolute argument tolerance.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.IsNaN(fa) || math.IsNaN(fb) || fa*fb > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b, fa, fb = b, a, fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) <= tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = a + (b-a)/2
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d = c
+		c, fc = b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b, fa, fb = b, a, fb, fa
+		}
+	}
+	return b, nil
+}
+
+// BracketUp expands an initial interval [lo, hi] geometrically to the right
+// until f changes sign (or hits max), then returns the bracketing interval.
+// It is intended for monotone f with f(lo) of known sign.
+func BracketUp(f func(float64) float64, lo, hi, max float64) (a, b float64, err error) {
+	flo := f(lo)
+	if flo == 0 {
+		return lo, lo, nil
+	}
+	a = lo
+	for hi <= max {
+		if flo*f(hi) <= 0 {
+			return a, hi, nil
+		}
+		a = hi
+		hi *= 2
+	}
+	if flo*f(max) <= 0 {
+		return a, max, nil
+	}
+	return 0, 0, fmt.Errorf("%w: no sign change up to %g", ErrNoBracket, max)
+}
+
+// InvertMonotone solves f(x) = y for x, where f is nondecreasing on
+// [lo, hi]. It brackets by expanding from lo and refines with Brent.
+func InvertMonotone(f func(float64) float64, y, lo, hi, tol float64) (float64, error) {
+	g := func(x float64) float64 { return f(x) - y }
+	a, b, err := BracketUp(g, lo, math.Min(lo*2+1, hi), hi)
+	if err != nil {
+		return 0, err
+	}
+	if a == b {
+		return a, nil
+	}
+	return Brent(g, a, b, tol)
+}
+
+// Newton runs Newton iterations for a root of f with derivative df starting
+// at x0. It falls back to halving the step when the iterate leaves [lo, hi].
+func Newton(f, df func(float64) float64, x0, lo, hi, tol float64) (float64, error) {
+	x := x0
+	for i := 0; i < 100; i++ {
+		fx := f(x)
+		if math.Abs(fx) == 0 {
+			return x, nil
+		}
+		d := df(x)
+		if d == 0 || math.IsNaN(d) {
+			return 0, fmt.Errorf("%w: zero derivative at %g", ErrNoConverge, x)
+		}
+		step := fx / d
+		nx := x - step
+		for j := 0; j < 60 && (nx < lo || nx > hi || math.IsNaN(f(nx))); j++ {
+			step /= 2
+			nx = x - step
+		}
+		if math.Abs(nx-x) <= tol*(1+math.Abs(x)) {
+			return nx, nil
+		}
+		x = nx
+	}
+	return 0, ErrNoConverge
+}

@@ -1,0 +1,125 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s: got %v, want %v (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestBisectCosFixedPoint(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	x, err := Bisect(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, x, 0.7390851332151607, 1e-10, "dottie number")
+}
+
+func TestBrentCosFixedPoint(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	x, err := Brent(f, 0, 1, 1e-13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, x, 0.7390851332151607, 1e-10, "dottie number")
+}
+
+func TestBrentEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	x, err := Brent(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, x, 0, 1e-12, "root at left endpoint")
+	x, err = Brent(f, -1, 0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, x, 0, 1e-12, "root at right endpoint")
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Brent(f, -1, 1, 1e-12); err == nil {
+		t.Fatal("expected ErrNoBracket")
+	}
+	if _, err := Bisect(f, -1, 1, 1e-12); err == nil {
+		t.Fatal("expected ErrNoBracket")
+	}
+}
+
+func TestBrentPolynomialRootsProperty(t *testing.T) {
+	// For any r in (−5, 5), Brent on f(x) = (x−r)(x²+1) over [−10, 10]
+	// recovers r.
+	prop := func(seed float64) bool {
+		r := math.Mod(math.Abs(seed), 10) - 5
+		f := func(x float64) float64 { return (x - r) * (x*x + 1) }
+		x, err := Brent(f, -10, 10, 1e-12)
+		return err == nil && math.Abs(x-r) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBracketUp(t *testing.T) {
+	f := func(x float64) float64 { return x - 37 }
+	a, b, err := BracketUp(f, 1, 2, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a <= 37 && 37 <= b) {
+		t.Errorf("bracket [%g, %g] does not contain 37", a, b)
+	}
+	if _, _, err := BracketUp(f, 1, 2, 10); err == nil {
+		t.Error("expected failure when root beyond max")
+	}
+}
+
+func TestInvertMonotone(t *testing.T) {
+	f := func(x float64) float64 { return x * x }
+	x, err := InvertMonotone(f, 9, 0, 1e6, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, x, 3, 1e-9, "inverse of square")
+}
+
+func TestInvertMonotoneProperty(t *testing.T) {
+	// f(x) = x³ + x is strictly increasing; inversion then evaluation is
+	// the identity.
+	f := func(x float64) float64 { return x*x*x + x }
+	prop := func(seed float64) bool {
+		y := math.Mod(math.Abs(seed), 1000)
+		x, err := InvertMonotone(f, y, 0, 1e4, 1e-12)
+		return err == nil && math.Abs(f(x)-y) < 1e-6*(1+y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewtonSqrt(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	df := func(x float64) float64 { return 2 * x }
+	x, err := Newton(f, df, 1, 0, 10, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almostEqual(t, x, math.Sqrt2, 1e-12, "sqrt(2)")
+}
+
+func TestNewtonZeroDerivative(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	df := func(x float64) float64 { return 2 * x }
+	if _, err := Newton(f, df, 0, -1, 1, 1e-12); err == nil {
+		t.Error("expected error for zero derivative at start")
+	}
+}

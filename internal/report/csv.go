@@ -1,0 +1,30 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes a header plus float64 rows in standard CSV form.
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return fmt.Errorf("report: row %d has %d cells, header has %d", i, len(row), len(header))
+		}
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', 10, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

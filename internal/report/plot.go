@@ -1,0 +1,136 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is an ASCII line chart with one or more series sharing axes.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogY plots log10(y); nonpositive values are dropped.
+	LogY   bool
+	series []Series
+}
+
+// seriesMarks assigns one marker character per series.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Add appends a series; X and Y must have equal length.
+func (p *Plot) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q: %d x-values vs %d y-values", s.Name, len(s.X), len(s.Y))
+	}
+	p.series = append(p.series, s)
+	return nil
+}
+
+// Render draws the chart into w as a width×height character grid plus
+// axes, labels, and a legend.
+func (p *Plot) Render(w io.Writer, width, height int) error {
+	if width < 16 || height < 4 {
+		return fmt.Errorf("report: plot area %dx%d too small", width, height)
+	}
+	if len(p.series) == 0 {
+		return fmt.Errorf("report: no series to plot")
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tr := func(y float64) (float64, bool) {
+		if p.LogY {
+			if y <= 0 {
+				return 0, false
+			}
+			return math.Log10(y), true
+		}
+		return y, true
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			y, ok := tr(s.Y[i])
+			if !ok {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("report: no plottable points")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			y, ok := tr(s.Y[i])
+			if !ok {
+				continue
+			}
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			cy := int((y - ymin) / (ymax - ymin) * float64(height-1))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	if p.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", p.Title); err != nil {
+			return err
+		}
+	}
+	yl := func(row int) float64 {
+		frac := float64(height-1-row) / float64(height-1)
+		v := ymin + frac*(ymax-ymin)
+		if p.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for row := 0; row < height; row++ {
+		label := " "
+		if row == 0 || row == height-1 || row == height/2 {
+			label = fmt.Sprintf("%10.3g", yl(row))
+		}
+		if _, err := fmt.Fprintf(w, "%10s |%s\n", label, string(grid[row])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%10s  %-*.4g%*.4g\n", "", width/2, xmin, width-width/2, xmax); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c %s", seriesMarks[si%len(seriesMarks)], s.Name))
+	}
+	axis := p.XLabel
+	if p.YLabel != "" {
+		axis = p.YLabel + " vs " + p.XLabel
+	}
+	_, err := fmt.Fprintf(w, "%10s  [%s]  %s\n", "", strings.Join(legend, ", "), axis)
+	return err
+}

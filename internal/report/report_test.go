@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("C", "B(C)", "R(C)")
+	tb.AddRow(100.0, 0.25, 0.5)
+	tb.AddRow(200.0, "n/a", 0.75)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "B(C)") || !strings.Contains(lines[2], "0.25") {
+		t.Errorf("unexpected table:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "n/a") {
+		t.Errorf("string cell missing:\n%s", out)
+	}
+}
+
+func TestPlotRender(t *testing.T) {
+	var p Plot
+	p.Title = "demo"
+	p.XLabel = "C"
+	p.YLabel = "B"
+	if err := p.Add(Series{Name: "b", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Series{Name: "r", X: []float64{0, 1, 2, 3}, Y: []float64{9, 4, 1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("plot missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "b") || !strings.Contains(out, "B vs C") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var p Plot
+	if err := p.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	var empty Plot
+	var buf bytes.Buffer
+	if err := empty.Render(&buf, 40, 10); err == nil {
+		t.Error("empty plot should fail")
+	}
+	var tiny Plot
+	_ = tiny.Add(Series{Name: "s", X: []float64{1}, Y: []float64{1}})
+	if err := tiny.Render(&buf, 2, 2); err == nil {
+		t.Error("tiny plot area should fail")
+	}
+}
+
+func TestPlotLogYDropsNonpositive(t *testing.T) {
+	var p Plot
+	p.LogY = true
+	if err := p.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{0, 10, 100}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Render(&buf, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, []string{"c", "b"}, [][]float64{{1, 0.5}, {2, 0.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "c,b\n1,0.5\n2,0.75\n"
+	if buf.String() != want {
+		t.Errorf("got %q, want %q", buf.String(), want)
+	}
+	if err := WriteCSV(&buf, []string{"a"}, [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged row should fail")
+	}
+}

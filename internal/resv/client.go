@@ -1,0 +1,214 @@
+package resv
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client speaks the resv protocol over a single connection. One request is
+// in flight at a time; methods are safe for concurrent use (they serialize
+// on an internal mutex).
+type Client struct {
+	mu sync.Mutex
+	nc net.Conn
+}
+
+// Dial connects to a resv server at the given network address.
+func Dial(ctx context.Context, network, addr string) (*Client, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("resv: dial %s %s: %w", network, addr, err)
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection (e.g. one end of a net.Pipe).
+func NewClient(nc net.Conn) *Client {
+	return &Client{nc: nc}
+}
+
+// Close tears down the connection; the server releases all reservations
+// held through it.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// roundTrip sends one frame and reads one reply, honoring the context
+// deadline.
+func (c *Client) roundTrip(ctx context.Context, req Frame) (Frame, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Time{}
+	}
+	if err := c.nc.SetDeadline(deadline); err != nil {
+		return Frame{}, fmt.Errorf("resv: set deadline: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return Frame{}, err
+	}
+	if err := WriteFrame(c.nc, req); err != nil {
+		return Frame{}, fmt.Errorf("resv: send %s: %w", req.Type, err)
+	}
+	reply, err := ReadFrame(c.nc)
+	if err != nil {
+		return Frame{}, fmt.Errorf("resv: awaiting reply to %s: %w", req.Type, err)
+	}
+	return reply, nil
+}
+
+// Reserve requests a reservation for flowID with the given bandwidth
+// demand. It reports whether the reservation was granted, and the granted
+// share when it was.
+func (c *Client) Reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, err error) {
+	reply, err := c.roundTrip(ctx, Frame{Type: MsgRequest, FlowID: flowID, Value: bandwidth})
+	if err != nil {
+		return false, 0, err
+	}
+	switch reply.Type {
+	case MsgGrant:
+		return true, reply.Value, nil
+	case MsgDeny:
+		return false, 0, nil
+	case MsgError:
+		return false, 0, fmt.Errorf("resv: reserve flow %d: server error code %d", flowID, uint64(reply.Value))
+	default:
+		return false, 0, fmt.Errorf("resv: reserve flow %d: unexpected %s reply", flowID, reply.Type)
+	}
+}
+
+// Teardown releases flowID's reservation.
+func (c *Client) Teardown(ctx context.Context, flowID uint64) error {
+	reply, err := c.roundTrip(ctx, Frame{Type: MsgTeardown, FlowID: flowID})
+	if err != nil {
+		return err
+	}
+	switch reply.Type {
+	case MsgTeardownOK:
+		return nil
+	case MsgError:
+		return fmt.Errorf("resv: teardown flow %d: server error code %d", flowID, uint64(reply.Value))
+	default:
+		return fmt.Errorf("resv: teardown flow %d: unexpected %s reply", flowID, reply.Type)
+	}
+}
+
+// Refresh renews flowID's soft-state deadline on a TTL server. It returns
+// the server's TTL (0 when the server never expires reservations).
+func (c *Client) Refresh(ctx context.Context, flowID uint64) (ttl time.Duration, err error) {
+	reply, err := c.roundTrip(ctx, Frame{Type: MsgRefresh, FlowID: flowID})
+	if err != nil {
+		return 0, err
+	}
+	switch reply.Type {
+	case MsgRefreshOK:
+		return time.Duration(reply.Value * float64(time.Second)), nil
+	case MsgError:
+		return 0, fmt.Errorf("resv: refresh flow %d: server error code %d", flowID, uint64(reply.Value))
+	default:
+		return 0, fmt.Errorf("resv: refresh flow %d: unexpected %s reply", flowID, reply.Type)
+	}
+}
+
+// KeepAlive refreshes flowID at the given interval until ctx is canceled
+// or a refresh fails (e.g. the reservation was torn down or already
+// expired). It blocks; run it in its own goroutine. The returned error is
+// nil on context cancellation.
+func (c *Client) KeepAlive(ctx context.Context, flowID uint64, interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("resv: keep-alive interval must be positive, got %v", interval)
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+			if _, err := c.Refresh(ctx, flowID); err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return err
+			}
+		}
+	}
+}
+
+// Stats returns the server's admission threshold and active reservation
+// count.
+func (c *Client) Stats(ctx context.Context) (kmax, active int, err error) {
+	reply, err := c.roundTrip(ctx, Frame{Type: MsgStats})
+	if err != nil {
+		return 0, 0, err
+	}
+	if reply.Type != MsgStatsReply {
+		return 0, 0, fmt.Errorf("resv: stats: unexpected %s reply", reply.Type)
+	}
+	return int(reply.FlowID), int(reply.Value), nil
+}
+
+// RetryPolicy governs ReserveWithRetry, mirroring the paper's §5.2
+// retrying extension: a denied request waits and tries again, at a utility
+// cost per retry that the caller accounts separately.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts (≥ 1).
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry.
+	BaseDelay time.Duration
+	// Multiplier scales the delay after each attempt (≥ 1).
+	Multiplier float64
+	// Jitter, in [0, 1], randomizes each delay by ±Jitter·delay to avoid
+	// synchronized retry storms.
+	Jitter float64
+}
+
+// Validate checks the policy.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("resv: retry policy needs MaxAttempts ≥ 1, got %d", p.MaxAttempts)
+	}
+	if p.BaseDelay < 0 || p.Multiplier < 1 || p.Jitter < 0 || p.Jitter > 1 {
+		return fmt.Errorf("resv: invalid retry policy %+v", p)
+	}
+	return nil
+}
+
+// ReserveWithRetry requests a reservation, retrying denials per the policy
+// until granted, the attempts are exhausted, or the context expires. It
+// returns the granted share and the number of retries performed (0 when
+// the first attempt succeeded). When all attempts are denied it returns
+// granted = false with a nil error.
+func (c *Client) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth float64, policy RetryPolicy) (granted bool, share float64, retries int, err error) {
+	if err := policy.Validate(); err != nil {
+		return false, 0, 0, err
+	}
+	delay := policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		ok, sh, err := c.Reserve(ctx, flowID, bandwidth)
+		if err != nil {
+			return false, 0, attempt - 1, err
+		}
+		if ok {
+			return true, sh, attempt - 1, nil
+		}
+		if attempt >= policy.MaxAttempts {
+			return false, 0, attempt - 1, nil
+		}
+		d := delay
+		if policy.Jitter > 0 && d > 0 {
+			j := 1 + policy.Jitter*(2*rand.Float64()-1)
+			d = time.Duration(float64(d) * j)
+		}
+		select {
+		case <-ctx.Done():
+			return false, 0, attempt - 1, ctx.Err()
+		case <-time.After(d):
+		}
+		delay = time.Duration(float64(delay) * policy.Multiplier)
+	}
+}

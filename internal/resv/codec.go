@@ -1,0 +1,162 @@
+// Package resv implements a minimal reservation signaling protocol — an
+// RSVP-inspired substrate for the integrated-services architecture the
+// paper analyzes (§1). A client asks the network for a reservation; the
+// server runs admission control with the model's utility-maximizing
+// threshold kmax(C) and grants or denies. Denied clients may retry with
+// backoff, mirroring the §5.2 extension.
+//
+// The protocol is deliberately small: fixed 20-byte frames over any
+// net.Conn (TCP, Unix sockets, or net.Pipe in tests), one request in
+// flight per connection, and reservations tied to the connection's
+// lifetime — a connection drop releases its flows, the moral equivalent of
+// RSVP's soft state.
+package resv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType identifies a protocol frame.
+type MsgType uint8
+
+const (
+	// MsgRequest asks for a reservation for FlowID; Value carries the
+	// requested bandwidth.
+	MsgRequest MsgType = iota + 1
+	// MsgGrant accepts a request; Value carries the granted share.
+	MsgGrant
+	// MsgDeny rejects a request; Value carries the current active count.
+	MsgDeny
+	// MsgTeardown releases FlowID's reservation.
+	MsgTeardown
+	// MsgTeardownOK confirms a teardown.
+	MsgTeardownOK
+	// MsgStats asks for link statistics.
+	MsgStats
+	// MsgStatsReply answers MsgStats; FlowID carries the admission
+	// threshold kmax and Value the active reservation count.
+	MsgStatsReply
+	// MsgRefresh renews FlowID's soft-state timer (RSVP-style): on a
+	// server with a reservation TTL, unrefreshed reservations expire.
+	MsgRefresh
+	// MsgRefreshOK confirms a refresh; Value carries the TTL in seconds
+	// (0 when the server does not expire reservations).
+	MsgRefreshOK
+	// MsgError reports a protocol-level failure; Value is an ErrorCode.
+	MsgError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "REQUEST"
+	case MsgGrant:
+		return "GRANT"
+	case MsgDeny:
+		return "DENY"
+	case MsgTeardown:
+		return "TEARDOWN"
+	case MsgTeardownOK:
+		return "TEARDOWN-OK"
+	case MsgStats:
+		return "STATS"
+	case MsgStatsReply:
+		return "STATS-REPLY"
+	case MsgRefresh:
+		return "REFRESH"
+	case MsgRefreshOK:
+		return "REFRESH-OK"
+	case MsgError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("MSG(%d)", uint8(t))
+	}
+}
+
+// ErrorCode enumerates MsgError payloads.
+type ErrorCode uint64
+
+const (
+	// ErrCodeUnknownFlow reports an operation on a flow the server does
+	// not know.
+	ErrCodeUnknownFlow ErrorCode = iota + 1
+	// ErrCodeDuplicateFlow reports a reservation request for an
+	// already-reserved flow ID.
+	ErrCodeDuplicateFlow
+	// ErrCodeBadRequest reports a malformed or out-of-range request.
+	ErrCodeBadRequest
+)
+
+const (
+	// frameMagic guards against cross-protocol traffic.
+	frameMagic uint16 = 0xBE05
+	// protocolVersion is bumped on incompatible changes.
+	protocolVersion uint8 = 1
+	// FrameSize is the fixed wire size of every message.
+	FrameSize = 20
+)
+
+// Frame is one protocol message.
+type Frame struct {
+	Type   MsgType
+	FlowID uint64
+	// Value is type-dependent: bandwidth for requests/grants, a count for
+	// denials and stats, an ErrorCode for errors.
+	Value float64
+}
+
+// ErrBadFrame is wrapped by decoding errors.
+var ErrBadFrame = fmt.Errorf("resv: bad frame")
+
+// AppendFrame appends the wire encoding of f to dst.
+func AppendFrame(dst []byte, f Frame) []byte {
+	var buf [FrameSize]byte
+	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
+	buf[2] = protocolVersion
+	buf[3] = uint8(f.Type)
+	binary.BigEndian.PutUint64(buf[4:12], f.FlowID)
+	binary.BigEndian.PutUint64(buf[12:20], math.Float64bits(f.Value))
+	return append(dst, buf[:]...)
+}
+
+// DecodeFrame parses one frame from exactly FrameSize bytes.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) != FrameSize {
+		return Frame{}, fmt.Errorf("%w: length %d, want %d", ErrBadFrame, len(b), FrameSize)
+	}
+	if got := binary.BigEndian.Uint16(b[0:2]); got != frameMagic {
+		return Frame{}, fmt.Errorf("%w: magic %#04x", ErrBadFrame, got)
+	}
+	if b[2] != protocolVersion {
+		return Frame{}, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, b[2], protocolVersion)
+	}
+	t := MsgType(b[3])
+	if t < MsgRequest || t > MsgError {
+		return Frame{}, fmt.Errorf("%w: unknown type %d", ErrBadFrame, b[3])
+	}
+	return Frame{
+		Type:   t,
+		FlowID: binary.BigEndian.Uint64(b[4:12]),
+		Value:  math.Float64frombits(binary.BigEndian.Uint64(b[12:20])),
+	}, nil
+}
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	buf := AppendFrame(nil, f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads exactly one frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var buf [FrameSize]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return Frame{}, err
+	}
+	return DecodeFrame(buf[:])
+}

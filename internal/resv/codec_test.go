@@ -1,0 +1,89 @@
+package resv
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	prop := func(typ uint8, flowID uint64, value float64) bool {
+		f := Frame{
+			Type:   MsgType(typ%uint8(MsgError)) + MsgRequest,
+			FlowID: flowID,
+			Value:  value,
+		}
+		if f.Type > MsgError {
+			f.Type = MsgError
+		}
+		got, err := DecodeFrame(AppendFrame(nil, f))
+		if err != nil {
+			return false
+		}
+		same := got.Type == f.Type && got.FlowID == f.FlowID
+		if math.IsNaN(f.Value) {
+			return same && math.IsNaN(got.Value)
+		}
+		return same && got.Value == f.Value
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeFrame(make([]byte, 7)); !errors.Is(err, ErrBadFrame) {
+		t.Error("short frame should fail")
+	}
+	good := AppendFrame(nil, Frame{Type: MsgGrant, FlowID: 1, Value: 2})
+	bad := append([]byte(nil), good...)
+	bad[0] = 0xFF // magic
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
+		t.Error("bad magic should fail")
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = 99 // version
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
+		t.Error("bad version should fail")
+	}
+	bad = append([]byte(nil), good...)
+	bad[3] = 0 // type below range
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
+		t.Error("type 0 should fail")
+	}
+	bad[3] = uint8(MsgError) + 1
+	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
+		t.Error("type beyond range should fail")
+	}
+}
+
+func TestWriteReadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	want := Frame{Type: MsgDeny, FlowID: 42, Value: 7.5}
+	if err := WriteFrame(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != FrameSize {
+		t.Errorf("wire size %d, want %d", buf.Len(), FrameSize)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for typ := MsgRequest; typ <= MsgError; typ++ {
+		if typ.String() == "" {
+			t.Errorf("empty name for %d", typ)
+		}
+	}
+	if MsgType(200).String() == "" {
+		t.Error("unknown type should still render")
+	}
+}

@@ -1,0 +1,329 @@
+package resv
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"beqos/internal/utility"
+)
+
+// Server is a single-link admission controller speaking the resv protocol.
+// Admission policy follows the paper: at most kmax(C) = argmax k·π(C/k)
+// concurrent reservations, each granted an even share C/active.
+//
+// Reservations are soft state, in two senses mirroring RSVP:
+//   - scoped to their connection — a connection drop releases its flows;
+//   - optionally time-limited — with a TTL configured, reservations expire
+//     unless the client refreshes them (Client.Refresh / Client.KeepAlive).
+type Server struct {
+	capacity float64
+	kmax     int
+	ttl      time.Duration
+	// byBandwidth switches admission from flow counting to traffic-spec
+	// accounting: a request for rate r is admitted iff allocated + r ≤ C.
+	byBandwidth bool
+
+	mu        sync.Mutex
+	owners    map[uint64]*conn     // flowID → owning connection
+	expires   map[uint64]time.Time // flowID → soft-state deadline (TTL > 0)
+	rates     map[uint64]float64   // flowID → granted rate (bandwidth mode)
+	allocated float64              // Σ granted rates (bandwidth mode)
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// Logf, if non-nil, receives one line per protocol event; defaults to
+	// silent. Set before calling Serve.
+	Logf func(format string, args ...interface{})
+}
+
+// conn tracks one client connection's reservations.
+type conn struct {
+	nc    net.Conn
+	flows map[uint64]struct{}
+}
+
+// NewServer returns an admission controller for a link of the given
+// capacity whose clients run applications with the given utility function.
+// Reservations persist until torn down or their connection drops.
+func NewServer(capacity float64, util utility.Function) (*Server, error) {
+	return NewServerTTL(capacity, util, 0)
+}
+
+// NewServerTTL is NewServer with RSVP-style soft state: reservations not
+// refreshed within ttl are released. ttl = 0 disables expiry. Servers with
+// a TTL run a background sweeper; call Close when done with them.
+func NewServerTTL(capacity float64, util utility.Function, ttl time.Duration) (*Server, error) {
+	if !(capacity > 0) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("resv: capacity must be positive and finite, got %g", capacity)
+	}
+	if util == nil {
+		return nil, fmt.Errorf("resv: utility must be non-nil")
+	}
+	if ttl < 0 {
+		return nil, fmt.Errorf("resv: TTL must be nonnegative, got %v", ttl)
+	}
+	kmax, ok := utility.KMax(util, capacity)
+	if !ok {
+		return nil, fmt.Errorf("resv: utility %q is elastic; admission control does not apply", util.Name())
+	}
+	if kmax < 1 {
+		return nil, fmt.Errorf("resv: capacity %g admits no flows (kmax = %d)", capacity, kmax)
+	}
+	s := &Server{
+		capacity: capacity,
+		kmax:     kmax,
+		ttl:      ttl,
+		owners:   make(map[uint64]*conn),
+		expires:  make(map[uint64]time.Time),
+		rates:    make(map[uint64]float64),
+		stop:     make(chan struct{}),
+	}
+	if ttl > 0 {
+		go s.sweep()
+	}
+	return s, nil
+}
+
+// NewServerBandwidth returns an admission controller that accounts the
+// paper's traffic specifications literally: a request for rate r is
+// admitted while the sum of granted rates stays within capacity, and a
+// grant reserves exactly the requested rate. This is the natural mode for
+// heterogeneous demands (cf. utility mixtures with per-class Demand).
+func NewServerBandwidth(capacity float64, ttl time.Duration) (*Server, error) {
+	if !(capacity > 0) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("resv: capacity must be positive and finite, got %g", capacity)
+	}
+	if ttl < 0 {
+		return nil, fmt.Errorf("resv: TTL must be nonnegative, got %v", ttl)
+	}
+	s := &Server{
+		capacity:    capacity,
+		byBandwidth: true,
+		ttl:         ttl,
+		owners:      make(map[uint64]*conn),
+		expires:     make(map[uint64]time.Time),
+		rates:       make(map[uint64]float64),
+		stop:        make(chan struct{}),
+	}
+	if ttl > 0 {
+		go s.sweep()
+	}
+	return s, nil
+}
+
+// Allocated returns the sum of granted rates (bandwidth mode) or the
+// active reservation count (flow-count mode).
+func (s *Server) Allocated() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byBandwidth {
+		return s.allocated
+	}
+	return float64(len(s.owners))
+}
+
+// Close stops the soft-state sweeper (if any). It does not close client
+// connections or the listener.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// TTL returns the soft-state lifetime (0 = no expiry).
+func (s *Server) TTL() time.Duration { return s.ttl }
+
+// sweep periodically releases expired reservations.
+func (s *Server) sweep() {
+	tick := time.NewTicker(s.ttl / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-tick.C:
+			s.mu.Lock()
+			for id, deadline := range s.expires {
+				if now.After(deadline) {
+					if c := s.owners[id]; c != nil {
+						delete(c.flows, id)
+					}
+					delete(s.owners, id)
+					delete(s.expires, id)
+					s.releaseRateLocked(id)
+					s.logf("resv: expired flow %d (active %d)", id, len(s.owners))
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Capacity returns the link capacity.
+func (s *Server) Capacity() float64 { return s.capacity }
+
+// KMax returns the admission threshold.
+func (s *Server) KMax() int { return s.kmax }
+
+// Active returns the current number of reservations.
+func (s *Server) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.owners)
+}
+
+// Serve accepts connections on ln until ln is closed. It always returns a
+// non-nil error (net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(nc)
+	}
+}
+
+// HandleConn serves a single already-established connection (e.g. one end
+// of a net.Pipe). It returns when the connection fails or closes.
+func (s *Server) HandleConn(nc net.Conn) {
+	s.handle(nc)
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) handle(nc net.Conn) {
+	c := &conn{nc: nc, flows: make(map[uint64]struct{})}
+	defer s.release(c)
+	for {
+		f, err := ReadFrame(nc)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("resv: connection %v closed: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		var reply Frame
+		switch f.Type {
+		case MsgRequest:
+			reply = s.reserve(c, f)
+		case MsgTeardown:
+			reply = s.teardown(c, f)
+		case MsgRefresh:
+			reply = s.refresh(c, f)
+		case MsgStats:
+			s.mu.Lock()
+			reply = Frame{Type: MsgStatsReply, FlowID: uint64(s.kmax), Value: float64(len(s.owners))}
+			s.mu.Unlock()
+		default:
+			reply = Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
+		}
+		if err := WriteFrame(nc, reply); err != nil {
+			s.logf("resv: write to %v failed: %v", nc.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// reserve runs admission control for one request.
+func (s *Server) reserve(c *conn, f Frame) Frame {
+	if !(f.Value >= 0) || math.IsInf(f.Value, 0) || (s.byBandwidth && !(f.Value > 0)) {
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.owners[f.FlowID]; dup {
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
+	}
+	if s.byBandwidth {
+		if s.allocated+f.Value > s.capacity+1e-12 {
+			s.logf("resv: deny flow %d (allocated %g + %g > capacity %g)",
+				f.FlowID, s.allocated, f.Value, s.capacity)
+			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: s.allocated}
+		}
+		s.owners[f.FlowID] = c
+		c.flows[f.FlowID] = struct{}{}
+		s.rates[f.FlowID] = f.Value
+		s.allocated += f.Value
+		if s.ttl > 0 {
+			s.expires[f.FlowID] = time.Now().Add(s.ttl)
+		}
+		s.logf("resv: grant flow %d rate %g (allocated %g/%g)", f.FlowID, f.Value, s.allocated, s.capacity)
+		return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: f.Value}
+	}
+	if len(s.owners) >= s.kmax {
+		s.logf("resv: deny flow %d (active %d ≥ kmax %d)", f.FlowID, len(s.owners), s.kmax)
+		return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: float64(len(s.owners))}
+	}
+	s.owners[f.FlowID] = c
+	c.flows[f.FlowID] = struct{}{}
+	if s.ttl > 0 {
+		s.expires[f.FlowID] = time.Now().Add(s.ttl)
+	}
+	share := s.capacity / float64(len(s.owners))
+	s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, len(s.owners), share)
+	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: share}
+}
+
+// releaseRateLocked returns a flow's rate to the pool (bandwidth mode).
+// Callers hold s.mu.
+func (s *Server) releaseRateLocked(id uint64) {
+	if rate, ok := s.rates[id]; ok {
+		s.allocated -= rate
+		if s.allocated < 0 {
+			s.allocated = 0
+		}
+		delete(s.rates, id)
+	}
+}
+
+func (s *Server) teardown(c *conn, f Frame) Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, ok := s.owners[f.FlowID]
+	if !ok || owner != c {
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeUnknownFlow)}
+	}
+	delete(s.owners, f.FlowID)
+	delete(c.flows, f.FlowID)
+	delete(s.expires, f.FlowID)
+	s.releaseRateLocked(f.FlowID)
+	s.logf("resv: teardown flow %d (active %d)", f.FlowID, len(s.owners))
+	return Frame{Type: MsgTeardownOK, FlowID: f.FlowID, Value: float64(len(s.owners))}
+}
+
+// refresh renews a reservation's soft-state deadline.
+func (s *Server) refresh(c *conn, f Frame) Frame {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	owner, ok := s.owners[f.FlowID]
+	if !ok || owner != c {
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeUnknownFlow)}
+	}
+	if s.ttl > 0 {
+		s.expires[f.FlowID] = time.Now().Add(s.ttl)
+	}
+	return Frame{Type: MsgRefreshOK, FlowID: f.FlowID, Value: s.ttl.Seconds()}
+}
+
+// release frees every reservation held by a departing connection.
+func (s *Server) release(c *conn) {
+	_ = c.nc.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range c.flows {
+		delete(s.owners, id)
+		delete(s.expires, id)
+		s.releaseRateLocked(id)
+	}
+	if n := len(c.flows); n > 0 {
+		s.logf("resv: released %d reservations from %v", n, c.nc.RemoteAddr())
+	}
+}

@@ -1,0 +1,119 @@
+// Package rng provides the deterministic random samplers used by the
+// flow-level simulator: exponential, Poisson, Pareto, and inversion
+// sampling from any discrete load distribution. All samplers draw from an
+// explicit source so simulations are reproducible from a seed.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"beqos/internal/dist"
+)
+
+// Source is a seeded random source. It wraps math/rand/v2's PCG generator.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a deterministic source seeded from the two words.
+func New(seed1, seed2 uint64) *Source {
+	return &Source{r: rand.New(rand.NewPCG(seed1, seed2))}
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// IntN returns a uniform integer in [0, n).
+func (s *Source) IntN(n int) int { return s.r.IntN(n) }
+
+// Exp returns an exponential variate with the given mean.
+func (s *Source) Exp(mean float64) float64 {
+	return s.r.ExpFloat64() * mean
+}
+
+// Poisson returns a Poisson variate with the given mean. Small means use
+// Knuth's product method; larger means are split into chunks so the method
+// stays numerically exact (the product method underflows past mean ≈ 700,
+// and slows linearly, so chunking keeps both properties acceptable for the
+// simulator's mean ≈ 100 regime).
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	total := 0
+	for mean > 30 {
+		total += s.poissonKnuth(30)
+		mean -= 30
+	}
+	return total + s.poissonKnuth(mean)
+}
+
+func (s *Source) poissonKnuth(mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Pareto returns a Pareto variate with scale xm > 0 and shape alpha > 0:
+// P(X > x) = (xm/x)^alpha for x ≥ xm.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := s.r.Float64()
+	for u == 0 {
+		u = s.r.Float64()
+	}
+	return xm * math.Pow(u, -1/alpha)
+}
+
+// DiscreteSampler draws variates from an arbitrary dist.Discrete by
+// inversion against a cached CDF table, falling back to quantile search in
+// the far tail so heavy-tailed distributions remain exact.
+type DiscreteSampler struct {
+	d   dist.Discrete
+	cdf []float64 // cdf[k] = CDF(k)
+}
+
+// NewDiscreteSampler builds a sampler for d. The table covers the bulk of
+// the distribution (to the 1−2⁻³⁰ quantile).
+func NewDiscreteSampler(d dist.Discrete) (*DiscreteSampler, error) {
+	if d == nil {
+		return nil, fmt.Errorf("rng: nil distribution")
+	}
+	top := d.Quantile(1 - math.Pow(2, -30))
+	if top < 1 {
+		top = 1
+	}
+	cdf := make([]float64, top+1)
+	for k := 0; k <= top; k++ {
+		cdf[k] = d.CDF(k)
+	}
+	return &DiscreteSampler{d: d, cdf: cdf}, nil
+}
+
+// Sample draws one variate.
+func (ds *DiscreteSampler) Sample(s *Source) int {
+	u := s.Float64()
+	// Binary search the cached table.
+	lo, hi := 0, len(ds.cdf)-1
+	if u <= ds.cdf[hi] {
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if ds.cdf[mid] >= u {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return lo
+	}
+	// Far tail: exact quantile search on the distribution itself.
+	return ds.d.Quantile(u)
+}

@@ -1,0 +1,156 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"beqos/internal/dist"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7, 11), New(7, 11)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := New(7, 12)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := New(1, 2)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		x := s.Exp(5)
+		sum += x
+		sq += x * x
+	}
+	mean := sum / n
+	varr := sq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Errorf("exp mean = %v, want 5", mean)
+	}
+	if math.Abs(varr-25) > 0.8 {
+		t.Errorf("exp variance = %v, want 25", varr)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := New(3, 4)
+	for _, mean := range []float64{0.5, 7, 100} {
+		const n = 100000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := float64(s.Poisson(mean))
+			sum += x
+			sq += x * x
+		}
+		m := sum / n
+		v := sq/n - m*m
+		if math.Abs(m-mean) > 0.03*mean+0.03 {
+			t.Errorf("poisson(%g) mean = %v", mean, m)
+		}
+		if math.Abs(v-mean) > 0.05*mean+0.05 {
+			t.Errorf("poisson(%g) variance = %v, want ≈ mean", mean, v)
+		}
+	}
+	if s.Poisson(0) != 0 || s.Poisson(-1) != 0 {
+		t.Error("nonpositive mean should give 0")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	s := New(5, 6)
+	const n = 200000
+	xm, alpha := 2.0, 2.5
+	count := 0
+	var min float64 = math.Inf(1)
+	for i := 0; i < n; i++ {
+		x := s.Pareto(xm, alpha)
+		if x < min {
+			min = x
+		}
+		if x > 4 {
+			count++
+		}
+	}
+	if min < xm {
+		t.Errorf("Pareto below scale: %v", min)
+	}
+	// P(X > 4) = (2/4)^2.5 ≈ 0.1768.
+	got := float64(count) / n
+	if want := math.Pow(0.5, alpha); math.Abs(got-want) > 0.006 {
+		t.Errorf("tail prob = %v, want %v", got, want)
+	}
+}
+
+func TestDiscreteSamplerMatchesPMF(t *testing.T) {
+	d, err := dist.NewPoisson(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDiscreteSampler(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(9, 10)
+	const n = 300000
+	counts := make(map[int]int)
+	var sum float64
+	for i := 0; i < n; i++ {
+		k := ds.Sample(s)
+		counts[k]++
+		sum += float64(k)
+	}
+	if mean := sum / n; math.Abs(mean-40) > 0.2 {
+		t.Errorf("sampled mean = %v, want 40", mean)
+	}
+	// Spot-check a few PMF values.
+	for _, k := range []int{30, 40, 50} {
+		got := float64(counts[k]) / n
+		want := d.PMF(k)
+		if math.Abs(got-want) > 0.15*want+1e-4 {
+			t.Errorf("P(%d): sampled %v vs exact %v", k, got, want)
+		}
+	}
+}
+
+func TestDiscreteSamplerHeavyTail(t *testing.T) {
+	d, err := dist.NewAlgebraicMean(3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDiscreteSampler(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(11, 12)
+	const n = 200000
+	over := 0
+	for i := 0; i < n; i++ {
+		if ds.Sample(s) > 500 {
+			over++
+		}
+	}
+	got := float64(over) / n
+	want := d.TailProb(500)
+	if math.Abs(got-want) > 0.2*want+2e-4 {
+		t.Errorf("tail P(K>500): sampled %v vs exact %v", got, want)
+	}
+}
+
+func TestDiscreteSamplerNil(t *testing.T) {
+	if _, err := NewDiscreteSampler(nil); err == nil {
+		t.Error("nil distribution should fail")
+	}
+}

@@ -1,0 +1,36 @@
+package sched_test
+
+import (
+	"fmt"
+	"log"
+
+	"beqos/internal/sched"
+)
+
+// Fair queueing holds a reserved flow at its share while an aggressor
+// floods the link; FIFO does not.
+func Example() {
+	victim := sched.Source{Flow: 1, Rate: 0.25, PacketSize: 0.01}
+	aggressor := sched.Source{Flow: 2, Rate: 4, PacketSize: 0.01}
+
+	fifo, err := sched.RunLink(sched.NewFIFO(), 1, []sched.Source{victim, aggressor}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fq := sched.NewSCFQ()
+	if err := fq.SetWeight(1, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := fq.SetWeight(2, 0.1); err != nil {
+		log.Fatal(err)
+	}
+	fair, err := sched.RunLink(fq, 1, []sched.Source{victim, aggressor}, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FIFO victim throughput below 0.1: %v\n", fifo[1].Throughput < 0.1)
+	fmt.Printf("SCFQ victim keeps its 0.25: %v\n", fair[1].Throughput > 0.23)
+	// Output:
+	// FIFO victim throughput below 0.1: true
+	// SCFQ victim keeps its 0.25: true
+}

@@ -1,0 +1,166 @@
+// Package sched implements the packet-scheduling substrate the paper's
+// reservation-capable architecture presumes: admission control decides
+// *who* gets in (internal/core, internal/resv), and a fair-queueing
+// scheduler is what *enforces* each admitted flow's share on the wire. The
+// paper's integrated-services context builds on generalized processor
+// sharing (Parekh & Gallager, reference [10] in the paper); this package
+// implements SCFQ — self-clocked fair queueing (Golestani) — a practical
+// packet-by-packet approximation of GPS with the same long-run share
+// guarantees, plus a FIFO scheduler as the best-effort baseline.
+//
+// The package-level simulator drives either scheduler with per-flow packet
+// processes and measures realized throughput, so tests can verify the
+// paper's premise directly: under overload, FIFO sharing collapses in
+// proportion to the aggressor's demand, while fair queueing holds every
+// admitted flow at its reserved share.
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Packet is one unit of work offered to the link.
+type Packet struct {
+	// Flow identifies the owning flow.
+	Flow int
+	// Size is the packet's service requirement (e.g. bits).
+	Size float64
+	// Arrival is the packet's arrival time.
+	Arrival float64
+}
+
+// Scheduler selects the order in which queued packets are served.
+type Scheduler interface {
+	// Enqueue accepts a packet at its arrival time.
+	Enqueue(p Packet) error
+	// Dequeue pops the next packet to serve, or false when idle.
+	Dequeue() (Packet, bool)
+	// Backlog reports the number of queued packets.
+	Backlog() int
+}
+
+// FIFO is the best-effort baseline: a single shared queue, no isolation.
+type FIFO struct {
+	q []Packet
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(p Packet) error {
+	if p.Size <= 0 {
+		return fmt.Errorf("sched: packet size must be positive, got %g", p.Size)
+	}
+	f.q = append(f.q, p)
+	return nil
+}
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue() (Packet, bool) {
+	if len(f.q) == 0 {
+		return Packet{}, false
+	}
+	p := f.q[0]
+	f.q = f.q[1:]
+	return p, true
+}
+
+// Backlog implements Scheduler.
+func (f *FIFO) Backlog() int { return len(f.q) }
+
+// scfqItem is a queued packet with its SCFQ finish tag.
+type scfqItem struct {
+	pkt    Packet
+	finish float64
+	seq    uint64
+}
+
+type scfqHeap []scfqItem
+
+func (h scfqHeap) Len() int { return len(h) }
+func (h scfqHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+func (h scfqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scfqHeap) Push(x interface{}) { *h = append(*h, x.(scfqItem)) }
+func (h *scfqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// SCFQ is self-clocked fair queueing: each packet gets a finish tag
+// F = max(V, F_prev(flow)) + size/weight, where the virtual time V is the
+// finish tag of the packet currently in service; packets are served in
+// increasing tag order. Backlogged flows receive throughput proportional
+// to their weights, as GPS prescribes.
+type SCFQ struct {
+	weights map[int]float64
+	lastF   map[int]float64
+	v       float64
+	seq     uint64
+	q       scfqHeap
+}
+
+// NewSCFQ returns an empty fair queueing scheduler. Flows not explicitly
+// weighted get weight 1.
+func NewSCFQ() *SCFQ {
+	return &SCFQ{
+		weights: make(map[int]float64),
+		lastF:   make(map[int]float64),
+	}
+}
+
+// SetWeight assigns a flow's weight (share of capacity among backlogged
+// flows). Weights must be positive.
+func (s *SCFQ) SetWeight(flow int, w float64) error {
+	if !(w > 0) {
+		return fmt.Errorf("sched: weight must be positive, got %g", w)
+	}
+	s.weights[flow] = w
+	return nil
+}
+
+func (s *SCFQ) weight(flow int) float64 {
+	if w, ok := s.weights[flow]; ok {
+		return w
+	}
+	return 1
+}
+
+// Enqueue implements Scheduler.
+func (s *SCFQ) Enqueue(p Packet) error {
+	if p.Size <= 0 {
+		return fmt.Errorf("sched: packet size must be positive, got %g", p.Size)
+	}
+	start := s.v
+	if f, ok := s.lastF[p.Flow]; ok && f > start {
+		start = f
+	}
+	finish := start + p.Size/s.weight(p.Flow)
+	s.lastF[p.Flow] = finish
+	s.seq++
+	heap.Push(&s.q, scfqItem{pkt: p, finish: finish, seq: s.seq})
+	return nil
+}
+
+// Dequeue implements Scheduler; serving a packet advances virtual time to
+// its finish tag (the "self-clocking").
+func (s *SCFQ) Dequeue() (Packet, bool) {
+	if len(s.q) == 0 {
+		return Packet{}, false
+	}
+	it := heap.Pop(&s.q).(scfqItem)
+	s.v = it.finish
+	return it.pkt, true
+}
+
+// Backlog implements Scheduler.
+func (s *SCFQ) Backlog() int { return len(s.q) }

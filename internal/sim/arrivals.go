@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+
+	"beqos/internal/rng"
+)
+
+// Holding is a flow holding-time (service-time) distribution.
+type Holding interface {
+	// Sample draws one holding time.
+	Sample(s *rng.Source) float64
+	// Mean returns the expected holding time.
+	Mean() float64
+}
+
+// ExpHolding is an exponential holding time, the memoryless baseline that
+// yields Poisson occupancy under Poisson arrivals (M/M/∞).
+type ExpHolding struct {
+	// MeanTime is the expected holding time.
+	MeanTime float64
+}
+
+// NewExpHolding returns an exponential holding time with the given mean.
+func NewExpHolding(mean float64) (ExpHolding, error) {
+	if !(mean > 0) {
+		return ExpHolding{}, fmt.Errorf("sim: holding mean must be positive, got %g", mean)
+	}
+	return ExpHolding{MeanTime: mean}, nil
+}
+
+// Sample implements Holding.
+func (h ExpHolding) Sample(s *rng.Source) float64 { return s.Exp(h.MeanTime) }
+
+// Mean implements Holding.
+func (h ExpHolding) Mean() float64 { return h.MeanTime }
+
+// ParetoHolding is a heavy-tailed holding time, the classic ingredient of
+// self-similar traffic (long-lived flows). Shape must exceed 1 for a finite
+// mean; shapes near 1 give very long-range dependence.
+type ParetoHolding struct {
+	Scale float64
+	Shape float64
+}
+
+// NewParetoHolding returns a Pareto holding time with the given scale and
+// shape > 1.
+func NewParetoHolding(scale, shape float64) (ParetoHolding, error) {
+	if !(scale > 0) || !(shape > 1) {
+		return ParetoHolding{}, fmt.Errorf("sim: Pareto holding needs scale > 0 and shape > 1, got (%g, %g)", scale, shape)
+	}
+	return ParetoHolding{Scale: scale, Shape: shape}, nil
+}
+
+// Sample implements Holding.
+func (h ParetoHolding) Sample(s *rng.Source) float64 { return s.Pareto(h.Scale, h.Shape) }
+
+// Mean implements Holding.
+func (h ParetoHolding) Mean() float64 { return h.Scale * h.Shape / (h.Shape - 1) }
+
+// Arrivals generates flow arrivals: Next returns the wait until the next
+// arrival instant and the number of flows arriving together.
+type Arrivals interface {
+	Next(s *rng.Source) (wait float64, batch int)
+}
+
+// PoissonArrivals is the classical memoryless arrival process (batch 1).
+type PoissonArrivals struct {
+	// Rate is the arrival rate (flows per unit time).
+	Rate float64
+}
+
+// NewPoissonArrivals returns a Poisson arrival process with the given rate.
+func NewPoissonArrivals(rate float64) (PoissonArrivals, error) {
+	if !(rate > 0) {
+		return PoissonArrivals{}, fmt.Errorf("sim: arrival rate must be positive, got %g", rate)
+	}
+	return PoissonArrivals{Rate: rate}, nil
+}
+
+// Next implements Arrivals.
+func (a PoissonArrivals) Next(s *rng.Source) (float64, int) {
+	return s.Exp(1 / a.Rate), 1
+}
+
+// SessionArrivals models user sessions that each launch a heavy-tailed
+// (Pareto) batch of simultaneous flows. Batched heavy-tailed arrivals are a
+// simple generator of the overdispersed, algebraic-looking occupancy
+// distributions the paper associates with self-similar traffic — unlike
+// Poisson arrivals, which always yield Poisson occupancy in an
+// infinite-server system no matter the holding-time distribution.
+type SessionArrivals struct {
+	// Rate is the session arrival rate.
+	Rate float64
+	// BatchScale and BatchShape parameterize the Pareto batch size; shape
+	// in (1, 2] gives pronounced overdispersion.
+	BatchScale float64
+	BatchShape float64
+}
+
+// NewSessionArrivals returns a heavy-tailed session arrival process.
+func NewSessionArrivals(rate, batchScale, batchShape float64) (SessionArrivals, error) {
+	if !(rate > 0) || !(batchScale >= 1) || !(batchShape > 1) {
+		return SessionArrivals{}, fmt.Errorf("sim: session arrivals need rate > 0, batch scale ≥ 1, batch shape > 1; got (%g, %g, %g)", rate, batchScale, batchShape)
+	}
+	return SessionArrivals{Rate: rate, BatchScale: batchScale, BatchShape: batchShape}, nil
+}
+
+// MeanBatch returns the expected batch size.
+func (a SessionArrivals) MeanBatch() float64 {
+	return a.BatchScale * a.BatchShape / (a.BatchShape - 1)
+}
+
+// Next implements Arrivals.
+func (a SessionArrivals) Next(s *rng.Source) (float64, int) {
+	batch := int(a.Pareto(s))
+	if batch < 1 {
+		batch = 1
+	}
+	return s.Exp(1 / a.Rate), batch
+}
+
+// Pareto draws the raw batch-size variate.
+func (a SessionArrivals) Pareto(s *rng.Source) float64 {
+	return s.Pareto(a.BatchScale, a.BatchShape)
+}

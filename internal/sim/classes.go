@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"fmt"
+
+	"beqos/internal/rng"
+	"beqos/internal/utility"
+)
+
+// FlowClass describes one application class in a heterogeneous simulation
+// (§5's heterogeneous-flows extension, dynamically): flows of this class
+// occur with probability proportional to Weight, evaluate the class's
+// utility, and scale their bandwidth needs by Demand (a flow receiving
+// share b performs like Util at b/Demand).
+type FlowClass struct {
+	Weight float64
+	Util   utility.Function
+	Demand float64
+}
+
+// normalizeClasses validates and normalizes a class list.
+func normalizeClasses(classes []FlowClass) ([]FlowClass, error) {
+	out := make([]FlowClass, len(classes))
+	var total float64
+	for i, c := range classes {
+		if c.Util == nil {
+			return nil, fmt.Errorf("sim: class %d has nil utility", i)
+		}
+		if !(c.Weight > 0) {
+			return nil, fmt.Errorf("sim: class %d has non-positive weight %g", i, c.Weight)
+		}
+		if c.Demand < 0 {
+			return nil, fmt.Errorf("sim: class %d has negative demand %g", i, c.Demand)
+		}
+		out[i] = c
+		if out[i].Demand == 0 {
+			out[i].Demand = 1
+		}
+		total += c.Weight
+	}
+	for i := range out {
+		out[i].Weight /= total
+	}
+	return out, nil
+}
+
+// classMixture builds the population's expected utility function, used to
+// derive the admission threshold kmax(C) exactly as the analytical model's
+// utility.Mixture does.
+func classMixture(classes []FlowClass) (utility.Function, error) {
+	comps := make([]utility.Component, len(classes))
+	for i, c := range classes {
+		comps[i] = utility.Component{Fn: c.Util, Weight: c.Weight, Demand: c.Demand}
+	}
+	return utility.NewMixture(comps)
+}
+
+// pickClass samples a class index by weight.
+func pickClass(classes []FlowClass, src *rng.Source) int {
+	u := src.Float64()
+	for i, c := range classes {
+		u -= c.Weight
+		if u < 0 {
+			return i
+		}
+	}
+	return len(classes) - 1
+}

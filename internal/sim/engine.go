@@ -1,0 +1,85 @@
+// Package sim is a flow-level discrete-event simulator for a single
+// bottleneck link. It generates flows from arrival/holding-time processes,
+// applies either best-effort sharing or reservation-style admission
+// control, and measures the stationary occupancy distribution, per-flow
+// utilities, blocking and retry behavior.
+//
+// The paper (Breslau & Shenker, SIGCOMM 1998) postulates static load
+// distributions P(k) rather than modeling flow dynamics; this package
+// closes that gap: it produces the stationary distribution from explicit
+// dynamics (as a dist.Empirical ready to feed back into the analytical
+// model in internal/core) and cross-validates the paper's per-flow utility
+// definitions against measured ones.
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. seq breaks ties deterministically.
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now float64
+	seq uint64
+	pq  eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule runs fn after the given (nonnegative) delay. Events scheduled
+// for the same instant run in scheduling order.
+func (e *Engine) Schedule(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run processes events until the queue empties or the clock passes until.
+// Events at exactly until are processed.
+func (e *Engine) Run(until float64) {
+	for len(e.pq) > 0 {
+		next := e.pq[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.pq)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.Run(10)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events out of order: %v", got)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run(2)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	e.Run(1000)
+	if count != 100 {
+		t.Errorf("count = %d, want 100", count)
+	}
+	if e.Now() != 1000 {
+		t.Errorf("clock = %v", e.Now())
+	}
+}
+
+func TestEngineHorizonCutoff(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	e.Run(4.999)
+	if ran {
+		t.Error("event past horizon should not run")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(5)
+	if !ran {
+		t.Error("event at horizon should run")
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {
+		e.Schedule(-5, func() {
+			if e.Now() < 1 {
+				t.Error("negative delay ran in the past")
+			}
+		})
+	})
+	e.Run(2)
+}

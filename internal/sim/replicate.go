@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary aggregates a metric across independent replications.
+type Summary struct {
+	// Mean is the across-replication average.
+	Mean float64
+	// StdErr is the standard error of the mean.
+	StdErr float64
+	// N is the number of replications.
+	N int
+}
+
+// String renders mean ± stderr.
+func (s Summary) String() string {
+	return fmt.Sprintf("%.6g ± %.2g", s.Mean, s.StdErr)
+}
+
+// Replication reports the replicated metrics of RunReplications.
+type Replication struct {
+	MeanUtility  Summary
+	AvgOccupancy Summary
+	BlockingRate Summary
+}
+
+// RunReplications runs n independent replications of cfg (reseeding each)
+// and reports across-replication means with standard errors — the
+// defensible way to quote simulator numbers against the analytical model.
+func RunReplications(cfg Config, n int) (Replication, error) {
+	if n < 2 {
+		return Replication{}, fmt.Errorf("sim: need at least 2 replications, got %d", n)
+	}
+	util := make([]float64, 0, n)
+	occ := make([]float64, 0, n)
+	blk := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		run := cfg
+		run.Seed1 = cfg.Seed1 + uint64(i)
+		run.Seed2 = cfg.Seed2 ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		res, err := Run(run)
+		if err != nil {
+			return Replication{}, fmt.Errorf("sim: replication %d: %w", i, err)
+		}
+		util = append(util, res.MeanUtility)
+		occ = append(occ, res.AvgOccupancy)
+		blk = append(blk, res.BlockingRate)
+	}
+	return Replication{
+		MeanUtility:  summarize(util),
+		AvgOccupancy: summarize(occ),
+		BlockingRate: summarize(blk),
+	}, nil
+}
+
+// summarize computes mean and standard error.
+func summarize(xs []float64) Summary {
+	n := float64(len(xs))
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return Summary{
+		Mean:   mean,
+		StdErr: math.Sqrt(ss / (n - 1) / n),
+		N:      len(xs),
+	}
+}

@@ -1,0 +1,418 @@
+package sim
+
+import (
+	"fmt"
+
+	"beqos/internal/dist"
+	"beqos/internal/rng"
+	"beqos/internal/utility"
+)
+
+// Policy selects the link architecture.
+type Policy int
+
+const (
+	// BestEffort admits every flow and splits capacity evenly.
+	BestEffort Policy = iota
+	// Reservation admits at most KMax concurrent flows; excess requests
+	// are rejected (and may retry, if configured).
+	Reservation
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case BestEffort:
+		return "best-effort"
+	case Reservation:
+		return "reservation"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// RetryConfig enables retry behavior for rejected reservation requests,
+// mirroring the paper's §5.2 extension.
+type RetryConfig struct {
+	// MeanBackoff is the mean of the exponential wait before a retry.
+	MeanBackoff float64
+	// Penalty is the utility cost α charged per retry.
+	Penalty float64
+	// MaxAttempts caps total attempts per flow (≥ 1). Flows exceeding it
+	// give up with only their accumulated penalties.
+	MaxAttempts int
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Capacity is the link capacity C.
+	Capacity float64
+	// Util is the application utility function π. It may be nil when
+	// Classes is set.
+	Util utility.Function
+	// Classes, when non-empty, makes the population heterogeneous: each
+	// flow draws a class (by weight) and is scored with that class's
+	// utility and demand scale. The admission threshold is derived from
+	// the population's expected utility (a utility.Mixture), matching the
+	// analytical model's §5 heterogeneous-flows treatment.
+	Classes []FlowClass
+	// Policy selects best-effort or reservation-capable behavior.
+	Policy Policy
+	// KMax is the reservation admission threshold; 0 derives it from the
+	// utility function via kmax(C) = argmax k·π(C/k).
+	KMax int
+	// Arrivals and Holding define the flow dynamics.
+	Arrivals Arrivals
+	Holding  Holding
+	// Horizon is the simulated duration; Warmup (< Horizon) is excluded
+	// from all statistics.
+	Horizon float64
+	Warmup  float64
+	// Samples is the paper's §5.1 S: a flow's performance is π at the
+	// worst of S load observations (its arrival instant plus S−1 uniform
+	// instants over its lifetime). Samples = 0 scores flows by their
+	// time-average π instead.
+	Samples int
+	// Retry, if non-nil, makes rejected flows retry (Reservation only).
+	Retry *RetryConfig
+	// Seed1, Seed2 seed the deterministic random source.
+	Seed1, Seed2 uint64
+}
+
+// Result reports a simulation run's measurements (post-warmup).
+type Result struct {
+	// Occupancy is the time-weighted distribution of concurrent admitted
+	// flows, ready to feed into the analytical model.
+	Occupancy *dist.Empirical
+	// ArrivalLoad is the distribution of the load level seen by freshly
+	// arriving flows (itself included) — a PASTA estimator of the paper's
+	// size-biased "flow's-eye" distribution Q(k). For memoryless arrivals
+	// it matches dist.NewSizeBiased of the stationary law.
+	ArrivalLoad *dist.Empirical
+	// AvgOccupancy is its mean.
+	AvgOccupancy float64
+	// MeanUtility is the average per-flow utility over all flows that
+	// arrived after warmup (rejected flows contribute 0, retries their
+	// penalties).
+	MeanUtility float64
+	// Flows counts flows arriving post-warmup; Admitted and Rejected
+	// partition their final fates; Retries counts retry attempts.
+	Flows    int
+	Admitted int
+	Rejected int
+	Retries  int
+	// BlockingRate is the per-attempt rejection rate.
+	BlockingRate float64
+	// PeakOccupancy is the largest concurrent flow count observed.
+	PeakOccupancy int
+	// ClassUtility and ClassFlows report per-class mean utilities and flow
+	// counts when Config.Classes was set.
+	ClassUtility []float64
+	ClassFlows   []int
+}
+
+// flow carries per-flow measurement state.
+type flow struct {
+	arrivedAt float64
+	attempts  int
+	maxLoad   int
+	class     int     // index into the class list (0 when homogeneous)
+	utilAccum float64 // ∫ π dt reference at admission (time-average mode)
+	counted   bool    // true if the flow arrived post-warmup
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (Result, error) {
+	if !(cfg.Capacity > 0) {
+		return Result{}, fmt.Errorf("sim: capacity must be positive, got %g", cfg.Capacity)
+	}
+	var classes []FlowClass
+	if len(cfg.Classes) > 0 {
+		var err error
+		classes, err = normalizeClasses(cfg.Classes)
+		if err != nil {
+			return Result{}, err
+		}
+		if cfg.Util == nil {
+			mix, err := classMixture(classes)
+			if err != nil {
+				return Result{}, err
+			}
+			cfg.Util = mix
+		}
+	}
+	if cfg.Util == nil || cfg.Arrivals == nil || cfg.Holding == nil {
+		return Result{}, fmt.Errorf("sim: utility, arrivals and holding must be non-nil")
+	}
+	if !(cfg.Horizon > 0) || cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
+		return Result{}, fmt.Errorf("sim: need 0 ≤ warmup < horizon, got warmup=%g horizon=%g", cfg.Warmup, cfg.Horizon)
+	}
+	if cfg.Samples < 0 {
+		return Result{}, fmt.Errorf("sim: samples must be nonnegative, got %d", cfg.Samples)
+	}
+	if cfg.Retry != nil {
+		if cfg.Policy != Reservation {
+			return Result{}, fmt.Errorf("sim: retries only apply to the reservation policy")
+		}
+		if !(cfg.Retry.MeanBackoff > 0) || cfg.Retry.MaxAttempts < 1 || cfg.Retry.Penalty < 0 {
+			return Result{}, fmt.Errorf("sim: invalid retry config %+v", *cfg.Retry)
+		}
+	}
+	kmax := cfg.KMax
+	if cfg.Policy == Reservation && kmax == 0 {
+		k, ok := utility.KMax(cfg.Util, cfg.Capacity)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: utility %q has no finite kmax; pass KMax explicitly", cfg.Util.Name())
+		}
+		kmax = k
+	}
+	if cfg.Policy == Reservation && kmax < 1 {
+		return Result{}, fmt.Errorf("sim: reservation admits no flows at capacity %g", cfg.Capacity)
+	}
+
+	src := rng.New(cfg.Seed1, cfg.Seed2)
+	eng := NewEngine()
+	s := &simState{
+		cfg:     cfg,
+		classes: classes,
+		kmax:    kmax,
+		src:     src,
+		eng:     eng,
+		occLast: 0,
+	}
+	if len(classes) > 0 {
+		s.piAccumClass = make([]float64, len(classes))
+		s.utilSumClass = make([]float64, len(classes))
+		s.flowsClass = make([]int, len(classes))
+	}
+
+	// Arrival pump: schedules itself forever (until the horizon stops it).
+	var pump func()
+	pump = func() {
+		wait, batch := cfg.Arrivals.Next(src)
+		eng.Schedule(wait, func() {
+			for i := 0; i < batch; i++ {
+				s.arrive(&flow{arrivedAt: eng.Now(), counted: eng.Now() >= cfg.Warmup})
+			}
+			pump()
+		})
+	}
+	pump()
+	eng.Run(cfg.Horizon)
+	return s.result(), nil
+}
+
+// simState carries the mutable simulation state.
+type simState struct {
+	cfg     Config
+	classes []FlowClass
+	kmax    int
+	src     *rng.Source
+	eng     *Engine
+
+	active    int
+	occTime   []float64 // time-weighted occupancy histogram (post-warmup)
+	arrCounts []float64 // load level seen at fresh arrivals (post-warmup)
+	occLast   float64   // last time the occupancy changed (or warmup start)
+	piAccum   float64   // ∫ π(C/n(t)) dt, for time-average flow utility
+	// piAccumClass holds per-class ∫ π_i(C/(n·d_i)) dt in heterogeneous
+	// runs; utilSumClass and flowsClass tally per-class outcomes.
+	piAccumClass []float64
+	utilSumClass []float64
+	flowsClass   []int
+	peak         int
+	utilSum      float64
+	flows        int
+	admitted     int
+	rejected     int
+	retries      int
+	attempts     int
+}
+
+// evalUtil returns the utility a flow of class ci derives from share b.
+func (s *simState) evalUtil(ci int, b float64) float64 {
+	if len(s.classes) == 0 {
+		return s.cfg.Util.Eval(b)
+	}
+	c := s.classes[ci]
+	return c.Util.Eval(b / c.Demand)
+}
+
+// advance accounts occupancy time up to now.
+func (s *simState) advance() {
+	now := s.eng.Now()
+	start := s.occLast
+	if start < s.cfg.Warmup {
+		start = s.cfg.Warmup
+	}
+	if now > start {
+		for len(s.occTime) <= s.active {
+			s.occTime = append(s.occTime, 0)
+		}
+		s.occTime[s.active] += now - start
+		if s.active > 0 {
+			share := s.cfg.Capacity / float64(s.active)
+			s.piAccum += (now - start) * s.cfg.Util.Eval(share)
+			for i := range s.piAccumClass {
+				s.piAccumClass[i] += (now - start) * s.evalUtil(i, share)
+			}
+		}
+	}
+	s.occLast = now
+}
+
+func (s *simState) setActive(n int) {
+	s.advance()
+	s.active = n
+	if n > s.peak {
+		s.peak = n
+	}
+}
+
+// arrive handles one flow request (first attempt or retry).
+func (s *simState) arrive(f *flow) {
+	f.attempts++
+	if f.attempts == 1 && len(s.classes) > 0 {
+		f.class = pickClass(s.classes, s.src)
+	}
+	if f.counted {
+		s.attempts++
+		if f.attempts == 1 {
+			s.flows++
+			if len(s.classes) > 0 {
+				s.flowsClass[f.class]++
+			}
+			// PASTA sample of the demand process: the load level this
+			// flow experiences, itself included.
+			level := s.active + 1
+			for len(s.arrCounts) <= level {
+				s.arrCounts = append(s.arrCounts, 0)
+			}
+			s.arrCounts[level]++
+		}
+	}
+	if s.cfg.Policy == Reservation && s.active >= s.kmax {
+		s.reject(f)
+		return
+	}
+	s.admit(f)
+}
+
+func (s *simState) admit(f *flow) {
+	if f.counted {
+		s.admitted++
+	}
+	s.setActive(s.active + 1)
+	f.maxLoad = s.active
+	if len(s.classes) > 0 {
+		f.utilAccum = s.piAccumClass[f.class]
+	} else {
+		f.utilAccum = s.piAccum
+	}
+	admittedAt := s.eng.Now()
+	holding := s.cfg.Holding.Sample(s.src)
+	// Extra load samples at uniform instants over the flow's lifetime
+	// (§5.1): record the concurrent flow count at each.
+	for i := 1; i < s.cfg.Samples; i++ {
+		at := s.src.Float64() * holding
+		s.eng.Schedule(at, func() {
+			if s.active > f.maxLoad {
+				f.maxLoad = s.active
+			}
+		})
+	}
+	s.eng.Schedule(holding, func() {
+		s.depart(f, admittedAt)
+	})
+}
+
+func (s *simState) depart(f *flow, admittedAt float64) {
+	s.setActive(s.active - 1)
+	if !f.counted {
+		return
+	}
+	duration := s.eng.Now() - admittedAt
+	var pi float64
+	if s.cfg.Samples == 0 && duration > 0 {
+		// Time-average performance over the flow's lifetime.
+		accum := s.piAccum
+		if len(s.classes) > 0 {
+			accum = s.piAccumClass[f.class]
+		}
+		pi = (accum - f.utilAccum) / duration
+	} else {
+		// Worst-of-S-samples performance.
+		pi = s.evalUtil(f.class, s.cfg.Capacity/float64(f.maxLoad))
+	}
+	score := pi - s.penalty(f)
+	s.utilSum += score
+	if len(s.classes) > 0 {
+		s.utilSumClass[f.class] += score
+	}
+}
+
+func (s *simState) reject(f *flow) {
+	if s.cfg.Retry != nil && f.attempts < s.cfg.Retry.MaxAttempts {
+		if f.counted {
+			s.retries++
+		}
+		s.eng.Schedule(s.src.Exp(s.cfg.Retry.MeanBackoff), func() {
+			s.arrive(f)
+		})
+		return
+	}
+	if f.counted {
+		s.rejected++
+		s.utilSum -= s.penalty(f)
+		if len(s.classes) > 0 {
+			s.utilSumClass[f.class] -= s.penalty(f)
+		}
+	}
+}
+
+// penalty returns the accumulated retry penalty α·(attempts − 1).
+func (s *simState) penalty(f *flow) float64 {
+	if s.cfg.Retry == nil || f.attempts <= 1 {
+		return 0
+	}
+	return s.cfg.Retry.Penalty * float64(f.attempts-1)
+}
+
+func (s *simState) result() Result {
+	s.advance() // account the final stretch up to the horizon
+	res := Result{
+		Flows:         s.flows,
+		Admitted:      s.admitted,
+		Rejected:      s.rejected,
+		Retries:       s.retries,
+		PeakOccupancy: s.peak,
+	}
+	if len(s.occTime) > 0 {
+		if emp, err := dist.NewEmpirical(s.occTime); err == nil {
+			res.Occupancy = emp
+			res.AvgOccupancy = emp.Mean()
+		}
+	}
+	if len(s.arrCounts) > 0 {
+		if emp, err := dist.NewEmpirical(s.arrCounts); err == nil {
+			res.ArrivalLoad = emp
+		}
+	}
+	if s.flows > 0 {
+		res.MeanUtility = s.utilSum / float64(s.flows)
+	}
+	if s.attempts > 0 {
+		blocked := s.attempts - s.admitted
+		res.BlockingRate = float64(blocked) / float64(s.attempts)
+	}
+	if len(s.classes) > 0 {
+		res.ClassFlows = append([]int(nil), s.flowsClass...)
+		res.ClassUtility = make([]float64, len(s.classes))
+		for i, sum := range s.utilSumClass {
+			if s.flowsClass[i] > 0 {
+				res.ClassUtility[i] = sum / float64(s.flowsClass[i])
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,308 @@
+package utility
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"beqos/internal/numeric"
+)
+
+// Rigid is the rigid (circuit-style) utility of the paper's equation 1:
+// the application needs exactly Bhat units of bandwidth, delivers full value
+// at or above it and none below it. Traditional telephony is the motivating
+// example.
+type Rigid struct {
+	// Bhat is the bandwidth requirement b̂; the paper uses b̂ = 1.
+	Bhat float64
+}
+
+// NewRigid returns the rigid utility with requirement bhat > 0.
+func NewRigid(bhat float64) (Rigid, error) {
+	if !(bhat > 0) {
+		return Rigid{}, fmt.Errorf("utility: rigid requirement must be positive, got %g", bhat)
+	}
+	return Rigid{Bhat: bhat}, nil
+}
+
+// Name implements Function.
+func (r Rigid) Name() string { return "rigid" }
+
+// Eval returns 0 below b̂ and 1 at or above it.
+func (r Rigid) Eval(b float64) float64 {
+	if b >= r.Bhat {
+		return 1
+	}
+	return 0
+}
+
+// KMax returns ⌊C/b̂⌋: admit as many flows as can each be given b̂.
+func (r Rigid) KMax(c float64) (int, bool) {
+	if c < r.Bhat {
+		return 0, true
+	}
+	return int(math.Floor(c / r.Bhat)), true
+}
+
+// Adaptive is the paper's equation 2, modeling rate- and delay-adaptive
+// audio/video:
+//
+//	π(b) = 1 − exp(−b²/(κ+b))
+//
+// Small bandwidths are nearly useless (convex near 0, π(b) ≈ b²/κ), high
+// bandwidths saturate (π(b) ≈ 1 − e^(−b)), and marginal utility peaks in
+// between.
+type Adaptive struct {
+	// Kappa is the shape constant κ.
+	Kappa float64
+}
+
+var (
+	kappaOnce sync.Once
+	kappaStar float64
+)
+
+// KappaStar returns the κ for which kmax(C) = C, i.e. the solution of the
+// stationarity condition π(1) = π′(1). The paper reports 0.62086.
+func KappaStar() float64 {
+	kappaOnce.Do(func() {
+		g := func(kappa float64) float64 {
+			a := Adaptive{Kappa: kappa}
+			return a.Eval(1) - a.Deriv(1)
+		}
+		k, err := numeric.Brent(g, 1e-6, 10, 1e-14)
+		if err != nil {
+			panic("utility: κ* calibration failed: " + err.Error())
+		}
+		kappaStar = k
+	})
+	return kappaStar
+}
+
+// NewAdaptive returns the paper's adaptive utility with κ = κ* ≈ 0.62086,
+// calibrated so that kmax(C) = C (facilitating comparison with the rigid
+// case, which also has kmax(C) = C).
+func NewAdaptive() Adaptive {
+	return Adaptive{Kappa: KappaStar()}
+}
+
+// Name implements Function.
+func (a Adaptive) Name() string { return "adaptive" }
+
+// Eval returns 1 − exp(−b²/(κ+b)).
+func (a Adaptive) Eval(b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return -math.Expm1(-b * b / (a.Kappa + b))
+}
+
+// Deriv returns dπ/db = exp(−b²/(κ+b)) · (b² + 2κb)/(κ+b)².
+func (a Adaptive) Deriv(b float64) float64 {
+	if b < 0 {
+		return 0
+	}
+	d := a.Kappa + b
+	return math.Exp(-b*b/d) * (b*b + 2*a.Kappa*b) / (d * d)
+}
+
+// KMax returns the integer argmax of k·π(C/k). With κ = κ* the continuous
+// argmax is exactly k = C; the integer argmax is one of its neighbors.
+func (a Adaptive) KMax(c float64) (int, bool) {
+	if c <= 0 {
+		return 0, true
+	}
+	center := int(c)
+	lo := center - 2
+	if lo < 1 {
+		lo = 1
+	}
+	k, _ := numeric.ArgmaxInt(func(k int) float64 {
+		return TotalUtility(a, c, k)
+	}, lo, center+3)
+	return k, true
+}
+
+// Elastic is a traditional data application (mail, file transfer): utility
+// is strictly concave everywhere, π(b) = 1 − e^(−b), so total utility always
+// increases with the number of admitted flows and admission control is never
+// warranted.
+type Elastic struct{}
+
+// Name implements Function.
+func (Elastic) Name() string { return "elastic" }
+
+// Eval returns 1 − e^(−b).
+func (Elastic) Eval(b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return -math.Expm1(-b)
+}
+
+// Deriv returns e^(−b).
+func (Elastic) Deriv(b float64) float64 {
+	if b < 0 {
+		return 0
+	}
+	return math.Exp(-b)
+}
+
+// KMax reports that no finite maximum exists.
+func (Elastic) KMax(c float64) (int, bool) { return 0, false }
+
+// Ramp is the continuum model's adaptive utility (§3.2): zero below a,
+// linear between a and 1, and saturated at 1:
+//
+//	π(b) = 0            b ≤ a
+//	π(b) = (b−a)/(1−a)  a < b < 1
+//	π(b) = 1            b ≥ 1
+//
+// a = 1 reduces to the rigid case; decreasing a increases adaptivity; a = 0
+// is no longer inelastic.
+type Ramp struct {
+	// A is the adaptivity parameter a ∈ (0, 1].
+	A float64
+}
+
+// NewRamp returns the continuum adaptive utility with parameter a ∈ (0, 1].
+func NewRamp(a float64) (Ramp, error) {
+	if !(a > 0 && a <= 1) {
+		return Ramp{}, fmt.Errorf("utility: ramp parameter must be in (0, 1], got %g", a)
+	}
+	return Ramp{A: a}, nil
+}
+
+// Name implements Function.
+func (r Ramp) Name() string { return "ramp" }
+
+// Eval implements the piecewise-linear form.
+func (r Ramp) Eval(b float64) float64 {
+	switch {
+	case b <= r.A:
+		return 0
+	case b >= 1:
+		return 1
+	default:
+		return (b - r.A) / (1 - r.A)
+	}
+}
+
+// KMax returns the integer argmax of k·π(C/k). Total utility equals k for
+// k ≤ C and (C − ak)/(1−a) beyond, so the continuous maximum is at k = C;
+// for fractional C the integer argmax is ⌊C⌋ or ⌈C⌉ depending on whether
+// the rising slope (1) or the falling slope (a/(1−a)) loses less.
+func (r Ramp) KMax(c float64) (int, bool) {
+	if c <= 0 {
+		return 0, true
+	}
+	lo := int(math.Floor(c))
+	if lo < 1 {
+		lo = 1
+	}
+	k, _ := numeric.ArgmaxInt(func(k int) float64 {
+		return TotalUtility(r, c, k)
+	}, lo, lo+1)
+	return k, true
+}
+
+// SlowTail is the §3.3 family approaching saturation algebraically rather
+// than exponentially:
+//
+//	π(b) = 0          b ≤ 1
+//	π(b) = 1 − b^(−τ) b > 1
+//
+// Its interaction with algebraic load tails (whether τ exceeds z−2 or z−3)
+// flips the asymptotic behavior of the bandwidth gap.
+type SlowTail struct {
+	// Tau is the saturation power τ > 0.
+	Tau float64
+}
+
+// NewSlowTail returns the slow-tail utility with power tau > 0.
+func NewSlowTail(tau float64) (SlowTail, error) {
+	if !(tau > 0) {
+		return SlowTail{}, fmt.Errorf("utility: slow-tail power must be positive, got %g", tau)
+	}
+	return SlowTail{Tau: tau}, nil
+}
+
+// Name implements Function.
+func (s SlowTail) Name() string { return "slowtail" }
+
+// Eval implements the algebraic-saturation form.
+func (s SlowTail) Eval(b float64) float64 {
+	if b <= 1 {
+		return 0
+	}
+	return 1 - math.Pow(b, -s.Tau)
+}
+
+// KMax returns ⌊C·(τ+1)^(−1/τ)⌋, the stationary point of
+// V(k) = k − k^(τ+1) C^(−τ).
+func (s SlowTail) KMax(c float64) (int, bool) {
+	if c <= 0 {
+		return 0, true
+	}
+	kStar := c * math.Pow(s.Tau+1, -1/s.Tau)
+	// The integer argmax is a neighbor of the continuous stationary point.
+	lo := int(kStar) - 2
+	if lo < 1 {
+		lo = 1
+	}
+	k, _ := numeric.ArgmaxInt(func(k int) float64 {
+		return TotalUtility(s, c, k)
+	}, lo, int(kStar)+3)
+	return k, true
+}
+
+// KStar returns the continuous admission threshold C·(τ+1)^(−1/τ), used by
+// the continuum model.
+func (s SlowTail) KStar(c float64) float64 {
+	return c * math.Pow(s.Tau+1, -1/s.Tau)
+}
+
+// PowerRamp is footnote 8's low-bandwidth power family:
+//
+//	π(b) = b^τ  b ≤ 1
+//	π(b) = 1    b > 1
+//
+// For τ > 1 it is inelastic with kmax(C) = ⌊C⌋; for τ ≤ 1 total utility
+// never decreases in k and no finite kmax exists.
+type PowerRamp struct {
+	// Tau is the low-bandwidth power τ > 0.
+	Tau float64
+}
+
+// NewPowerRamp returns the power-ramp utility with power tau > 0.
+func NewPowerRamp(tau float64) (PowerRamp, error) {
+	if !(tau > 0) {
+		return PowerRamp{}, fmt.Errorf("utility: power-ramp power must be positive, got %g", tau)
+	}
+	return PowerRamp{Tau: tau}, nil
+}
+
+// Name implements Function.
+func (p PowerRamp) Name() string { return "powerramp" }
+
+// Eval implements the power-ramp form.
+func (p PowerRamp) Eval(b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 1 {
+		return 1
+	}
+	return math.Pow(b, p.Tau)
+}
+
+// KMax returns ⌊C⌋ for τ > 1 and reports no finite maximum for τ ≤ 1.
+func (p PowerRamp) KMax(c float64) (int, bool) {
+	if p.Tau <= 1 {
+		return 0, false
+	}
+	if c <= 0 {
+		return 0, true
+	}
+	return int(math.Floor(c)), true
+}

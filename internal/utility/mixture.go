@@ -1,0 +1,110 @@
+package utility
+
+import (
+	"fmt"
+	"strings"
+
+	"beqos/internal/numeric"
+)
+
+// Component is one application class in a heterogeneous population.
+type Component struct {
+	// Fn is the class's utility function.
+	Fn Function
+	// Weight is the fraction of flows in this class (normalized at
+	// construction).
+	Weight float64
+	// Demand scales the class's bandwidth needs: a flow of this class
+	// receiving share b performs like Fn at b/Demand. Demand 0 defaults
+	// to 1.
+	Demand float64
+}
+
+// Mixture models the paper's §5 "heterogeneous flows (both in size and in
+// utility)" extension. When a random flow receives bandwidth share b, its
+// expected utility is
+//
+//	π̄(b) = Σ w_i · π_i(b / d_i),
+//
+// which is itself a valid utility function (nondecreasing, π̄(0) = 0,
+// π̄(∞) = 1), so the entire variable-load machinery applies unchanged —
+// exactly why the paper found heterogeneity "did not change the basic
+// nature of the asymptotic results", while perturbing the C ≈ k̄ region.
+type Mixture struct {
+	comps []Component
+}
+
+// NewMixture returns the mixture utility; weights must have positive total.
+func NewMixture(comps []Component) (Mixture, error) {
+	if len(comps) == 0 {
+		return Mixture{}, fmt.Errorf("utility: mixture needs at least one component")
+	}
+	var total float64
+	for i, c := range comps {
+		if c.Fn == nil {
+			return Mixture{}, fmt.Errorf("utility: mixture component %d has nil function", i)
+		}
+		if !(c.Weight >= 0) {
+			return Mixture{}, fmt.Errorf("utility: mixture component %d has invalid weight %g", i, c.Weight)
+		}
+		if c.Demand < 0 {
+			return Mixture{}, fmt.Errorf("utility: mixture component %d has negative demand %g", i, c.Demand)
+		}
+		total += c.Weight
+	}
+	if total <= 0 {
+		return Mixture{}, fmt.Errorf("utility: mixture weights sum to %g; need positive mass", total)
+	}
+	out := make([]Component, len(comps))
+	for i, c := range comps {
+		out[i] = c
+		out[i].Weight = c.Weight / total
+		if out[i].Demand == 0 {
+			out[i].Demand = 1
+		}
+	}
+	return Mixture{comps: out}, nil
+}
+
+// Name implements Function.
+func (m Mixture) Name() string {
+	names := make([]string, len(m.comps))
+	for i, c := range m.comps {
+		names[i] = c.Fn.Name()
+	}
+	return "mixture(" + strings.Join(names, "+") + ")"
+}
+
+// Eval returns π̄(b) = Σ w_i·π_i(b/d_i).
+func (m Mixture) Eval(b float64) float64 {
+	var s float64
+	for _, c := range m.comps {
+		s += c.Weight * c.Fn.Eval(b/c.Demand)
+	}
+	return s
+}
+
+// KMax scans for the integer argmax of k·π̄(C/k). The scan range accounts
+// for small-demand classes, whose flows remain useful at shares well below
+// 1 (kmax can approach C/min(d_i)). It reports no finite maximum when the
+// scan peaks at its boundary (e.g. a mixture dominated by an elastic
+// class).
+func (m Mixture) KMax(c float64) (int, bool) {
+	if c <= 0 {
+		return 0, true
+	}
+	minDemand := m.comps[0].Demand
+	for _, comp := range m.comps[1:] {
+		if comp.Demand < minDemand {
+			minDemand = comp.Demand
+		}
+	}
+	limit := int(4*c/minDemand) + 64
+	k, _ := numeric.ArgmaxInt(func(k int) float64 {
+		return TotalUtility(m, c, k)
+	}, 1, limit)
+	if k == limit {
+		return k, false
+	}
+	return k, true
+}

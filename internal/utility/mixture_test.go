@@ -1,0 +1,127 @@
+package utility
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMixtureValidation(t *testing.T) {
+	rigid, _ := NewRigid(1)
+	if _, err := NewMixture(nil); err == nil {
+		t.Error("empty mixture should fail")
+	}
+	if _, err := NewMixture([]Component{{Fn: nil, Weight: 1}}); err == nil {
+		t.Error("nil function should fail")
+	}
+	if _, err := NewMixture([]Component{{Fn: rigid, Weight: -1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := NewMixture([]Component{{Fn: rigid, Weight: 0}}); err == nil {
+		t.Error("zero total weight should fail")
+	}
+	if _, err := NewMixture([]Component{{Fn: rigid, Weight: 1, Demand: -2}}); err == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestMixtureEvalWeighted(t *testing.T) {
+	rigid, _ := NewRigid(1)
+	m, err := NewMixture([]Component{
+		{Fn: rigid, Weight: 1, Demand: 1},
+		{Fn: rigid, Weight: 3, Demand: 2}, // needs share 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights normalize to 1/4 and 3/4.
+	cases := []struct{ b, want float64 }{
+		{0.5, 0},
+		{1, 0.25},   // only the small class is satisfied
+		{1.9, 0.25}, //
+		{2, 1},      // both satisfied
+		{100, 1},    //
+	}
+	for _, c := range cases {
+		if got := m.Eval(c.b); math.Abs(got-c.want) > 1e-15 {
+			t.Errorf("π̄(%g) = %v, want %v", c.b, got, c.want)
+		}
+	}
+	if err := Validate(m); err != nil {
+		t.Errorf("mixture fails utility contract: %v", err)
+	}
+	if !strings.Contains(m.Name(), "rigid") {
+		t.Errorf("name = %q", m.Name())
+	}
+}
+
+func TestMixtureSmallDemandExtendsKMax(t *testing.T) {
+	// Half the flows are "thin" (demand 1/4): admission can usefully pack
+	// far more than C of them.
+	rigid, _ := NewRigid(1)
+	m, err := NewMixture([]Component{
+		{Fn: rigid, Weight: 1, Demand: 1},
+		{Fn: rigid, Weight: 1, Demand: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := m.KMax(100)
+	if !ok {
+		t.Fatal("expected finite kmax")
+	}
+	if k <= 100 {
+		t.Errorf("kmax = %d; thin flows should push it beyond C = 100", k)
+	}
+	if k > 400 {
+		t.Errorf("kmax = %d exceeds the thin-class bound C/d = 400", k)
+	}
+	// The argmax property holds.
+	v := TotalUtility(m, 100, k)
+	if v < TotalUtility(m, 100, k-1) || v < TotalUtility(m, 100, k+1) {
+		t.Errorf("kmax = %d is not a local maximum", k)
+	}
+}
+
+func TestMixtureElasticDominatedHasNoFiniteKMax(t *testing.T) {
+	rigid, _ := NewRigid(1)
+	m, err := NewMixture([]Component{
+		{Fn: rigid, Weight: 0.05},
+		{Fn: Elastic{}, Weight: 0.95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.KMax(100); ok {
+		t.Error("elastic-dominated mixture should have no finite kmax")
+	}
+}
+
+func TestMixtureRigidDominatedHasFiniteKMax(t *testing.T) {
+	rigid, _ := NewRigid(1)
+	m, err := NewMixture([]Component{
+		{Fn: rigid, Weight: 0.5},
+		{Fn: Elastic{}, Weight: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := m.KMax(100)
+	if !ok {
+		t.Fatal("rigid-dominated mixture should have finite kmax")
+	}
+	if k != 100 {
+		t.Errorf("kmax = %d, want 100 (set by the rigid class)", k)
+	}
+}
+
+func TestMixtureDemandDefaultsToOne(t *testing.T) {
+	rigid, _ := NewRigid(1)
+	m, err := NewMixture([]Component{{Fn: rigid, Weight: 1}}) // Demand omitted
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Eval(1); got != 1 {
+		t.Errorf("π̄(1) = %v, want 1", got)
+	}
+}

@@ -1,0 +1,104 @@
+// Package utility implements the application utility (performance) functions
+// π(b) of Breslau & Shenker (SIGCOMM 1998): rigid, adaptive (the paper's
+// equation 2), elastic, the continuum-model piecewise-linear ramp, and the
+// slowly-saturating tail families of §3.3. A utility function maps the
+// bandwidth share b a flow receives to the value the flow's user derives,
+// normalized so π(0) = 0 and π(∞) = 1.
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function is an application utility function π(b). Implementations must be
+// nondecreasing with π(0) = 0 and π(b) → 1 as b → ∞ (rigid-style functions
+// reach 1 at finite b).
+type Function interface {
+	// Name returns a short stable identifier ("rigid", "adaptive", …).
+	Name() string
+	// Eval returns π(b). Implementations return 0 for b ≤ 0.
+	Eval(b float64) float64
+}
+
+// Differentiable is implemented by utility functions with an analytic
+// derivative, used by calibration and by tests.
+type Differentiable interface {
+	// Deriv returns dπ/db.
+	Deriv(b float64) float64
+}
+
+// KMaxer is implemented by utility functions whose admission threshold
+// kmax(C) = argmax_k k·π(C/k) has a closed form.
+type KMaxer interface {
+	// KMax returns the utility-maximizing number of admitted flows at
+	// capacity C, and false when no finite maximum exists (elastic
+	// utilities, for which admission control should not be used).
+	KMax(c float64) (int, bool)
+}
+
+// KMax returns the admission threshold kmax(C) = argmax_{k ≥ 0, integer}
+// k·π(C/k) for the given utility function. If f implements KMaxer its
+// closed form is used; otherwise the integer argmax is found by scanning.
+// The second result is false when the total utility keeps increasing in k
+// (an everywhere-concave, elastic utility), in which case admission control
+// is pointless and the first result is meaningless.
+func KMax(f Function, c float64) (int, bool) {
+	if c <= 0 {
+		return 0, true
+	}
+	if km, ok := f.(KMaxer); ok {
+		return km.KMax(c)
+	}
+	// Scan: for the paper's inelastic functions the argmax is near C (the
+	// adaptive κ* calibration puts it at exactly C). Scan well beyond to
+	// detect elastic behavior.
+	limit := int(8*c) + 64
+	v := func(k int) float64 {
+		return float64(k) * f.Eval(c/float64(k))
+	}
+	bestK, bestV := 0, 0.0
+	for k := 1; k <= limit; k++ {
+		if vk := v(k); vk > bestV {
+			bestK, bestV = k, vk
+		}
+	}
+	if bestK == limit {
+		return bestK, false
+	}
+	return bestK, true
+}
+
+// TotalUtility returns the fixed-load-model total utility
+// V(k) = k·π(C/k) (the paper's §2).
+func TotalUtility(f Function, c float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return float64(k) * f.Eval(c/float64(k))
+}
+
+// Validate checks the basic contract of a utility function on a sample of
+// points: π(0) = 0, nondecreasing, bounded by 1 from below at large b. It is
+// exported for use by tests and by callers accepting user-supplied
+// functions.
+func Validate(f Function) error {
+	if v := f.Eval(0); v != 0 {
+		return fmt.Errorf("utility %q: π(0) = %g, want 0", f.Name(), v)
+	}
+	prev := 0.0
+	for b := 0.0; b <= 64; b += 1.0 / 128 {
+		v := f.Eval(b)
+		if math.IsNaN(v) || v < prev-1e-12 {
+			return fmt.Errorf("utility %q: not nondecreasing at b = %g (%g after %g)", f.Name(), b, v, prev)
+		}
+		if v > 1+1e-9 {
+			return fmt.Errorf("utility %q: π(%g) = %g exceeds 1", f.Name(), b, v)
+		}
+		prev = v
+	}
+	if top := f.Eval(1 << 20); top < 0.6 {
+		return fmt.Errorf("utility %q: π(2^20) = %g; should approach 1", f.Name(), top)
+	}
+	return nil
+}

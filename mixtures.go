@@ -1,0 +1,56 @@
+package beqos
+
+import (
+	"fmt"
+
+	"beqos/internal/dist"
+	"beqos/internal/utility"
+)
+
+// MixtureLoad returns a convex combination of loads — the paper's §5
+// nonstationary-load extension (e.g. diurnal alternation of regimes). The
+// mixture inherits the asymptotics of its heaviest-tailed component.
+func MixtureLoad(loads []Load, weights []float64) (Load, error) {
+	comps := make([]dist.Discrete, len(loads))
+	for i, l := range loads {
+		if l.d == nil {
+			return Load{}, fmt.Errorf("beqos: mixture load component %d is a zero value", i)
+		}
+		comps[i] = l.d
+	}
+	m, err := dist.NewMixture(comps, weights)
+	if err != nil {
+		return Load{}, err
+	}
+	return Load{d: m}, nil
+}
+
+// UtilityClass is one application class in a heterogeneous population.
+type UtilityClass struct {
+	// Util is the class's utility function.
+	Util Utility
+	// Weight is the class's share of flows (normalized internally).
+	Weight float64
+	// Demand scales bandwidth needs: the class evaluates its utility at
+	// share/Demand. Zero defaults to 1.
+	Demand float64
+}
+
+// MixtureUtility returns the expected utility of a random flow from a
+// heterogeneous population — the paper's §5 heterogeneous-flows extension.
+// The result is itself a valid utility function, so every model quantity
+// applies unchanged.
+func MixtureUtility(classes []UtilityClass) (Utility, error) {
+	comps := make([]utility.Component, len(classes))
+	for i, c := range classes {
+		if c.Util.f == nil {
+			return Utility{}, fmt.Errorf("beqos: mixture utility class %d is a zero value", i)
+		}
+		comps[i] = utility.Component{Fn: c.Util.f, Weight: c.Weight, Demand: c.Demand}
+	}
+	m, err := utility.NewMixture(comps)
+	if err != nil {
+		return Utility{}, err
+	}
+	return Utility{f: m}, nil
+}
