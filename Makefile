@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples cover clean
+.PHONY: all build vet test race check bench figures examples cover clean
 
 all: build vet test
 
@@ -16,10 +16,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/resv/ ./internal/sim/ ./internal/sched/ .
+	$(GO) test -race ./internal/core/ ./internal/resv/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ .
 
+# Full pre-merge gate: vet plus the race-enabled test suite.
+check: vet race
+	$(GO) test ./...
+
+# Run the benchmark suite and archive it as machine-readable JSON.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem . | tee bench_output.txt | $(GO) run ./cmd/benchjson -o BENCH_core.json
+	@echo "wrote BENCH_core.json"
 
 # Regenerate every paper table and figure into out/ (see EXPERIMENTS.md).
 figures:

@@ -8,6 +8,7 @@
 package beqos_test
 
 import (
+	"context"
 	"testing"
 
 	"beqos/internal/continuum"
@@ -16,6 +17,7 @@ import (
 	"beqos/internal/numeric"
 	"beqos/internal/sched"
 	"beqos/internal/sim"
+	"beqos/internal/sweep"
 	"beqos/internal/utility"
 )
 
@@ -366,6 +368,72 @@ func BenchmarkS2HeavyTailLoad(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Sweep engine and tabulation ---
+
+// BenchmarkModelSweep measures a full figure-style capacity sweep (the 100
+// grid points of the fig2 utility/gap panels) on a cold model, through the
+// parallel sweep engine. Construction cost (including tabulation) is
+// included: this is the figure harness's real unit of work.
+func BenchmarkModelSweep(b *testing.B) {
+	cs := sweep.Grid(10, 1000, 10)
+	ctx := context.Background()
+	for _, workers := range []int{1, 0} {
+		name := "parallel"
+		if workers == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := benchModel(b, "poisson", "adaptive")
+				_, err := sweep.Map(ctx, workers, cs, func(c float64) ([3]float64, error) {
+					g, err := m.BandwidthGap(c)
+					if err != nil {
+						return [3]float64{}, err
+					}
+					return [3]float64{m.BestEffort(c), m.Reservation(c), g}, nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBandwidthGap measures the Brent inversion on previously unseen
+// capacities (cycling a large grid defeats the memo), i.e. the true cost of
+// one Δ(C) evaluation on the tabulated model.
+func BenchmarkBandwidthGap(b *testing.B) {
+	m := benchModel(b, "poisson", "adaptive")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := 100 + float64(i%4096)*0.21
+		if _, err := m.BandwidthGap(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTabulatedPMF measures per-term distribution queries inside the
+// tabulated range — the innermost loop of every series in the core model —
+// against the base distribution's analytic evaluation.
+func BenchmarkTabulatedPMF(b *testing.B) {
+	base := benchLoad(b, "poisson")
+	tab := dist.Tabulate(base)
+	b.Run("tabulated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tab.PMF(i%800 + 1)
+			_ = tab.TailMean(i % 800)
+		}
+	})
+	b.Run("base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = base.PMF(i%800 + 1)
+			_ = base.TailMean(i % 800)
+		}
+	})
 }
 
 // --- Micro-benchmarks on hot paths ---

@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so benchmark runs can be archived and
+// compared across commits (see `make bench`, which writes BENCH_core.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson [-o FILE]
+//
+// Lines that are not benchmark results (the header, PASS/ok trailers) are
+// folded into the report's metadata where recognized and skipped otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the full JSON document.
+type Report struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	Package string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads go-test benchmark output line by line.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseResult(line)
+			if ok {
+				rep.Results = append(rep.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseResult parses one result line of the form
+//
+//	BenchmarkName-8   1234   567.8 ns/op [  90 B/op   3 allocs/op]
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix go test appends.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	ns, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		}
+	}
+	return r, true
+}

@@ -5,7 +5,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"math"
 	"net"
 	"os"
 	"os/signal"
@@ -14,6 +13,7 @@ import (
 
 	"beqos"
 	"beqos/internal/report"
+	"beqos/internal/sweep"
 )
 
 // modelFlags registers the shared -load/-mean/-z/-util flags on fs and
@@ -117,6 +117,7 @@ func cmdSweep(args []string) error {
 	cmax := fs.Float64("cmax", 1000, "last capacity")
 	step := fs.Float64("step", 50, "capacity step")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of a table")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,17 +128,24 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
-	tb := report.NewTable("C", "B(C)", "R(C)", "delta", "Delta")
-	var rows [][]float64
-	for c := *cmin; c <= *cmax; c += *step {
+	// The sweep runs in parallel; sweep.Map preserves grid order, so the
+	// table and CSV are identical for every worker count.
+	cs := sweep.Grid(*cmin, *cmax, *step)
+	rows, err := sweep.Map(context.Background(), *parallel, cs, func(c float64) ([]float64, error) {
 		b := m.BestEffort(c)
 		r := m.Reservation(c)
 		gap, err := m.BandwidthGap(c)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		tb.AddRow(c, b, r, r-b, gap)
-		rows = append(rows, []float64{c, b, r, r - b, gap})
+		return []float64{c, b, r, r - b, gap}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("C", "B(C)", "R(C)", "delta", "Delta")
+	for _, row := range rows {
+		tb.AddRow(row[0], row[1], row[2], row[3], row[4])
 	}
 	if *csvOut {
 		return report.WriteCSV(os.Stdout, []string{"C", "B", "R", "delta", "Delta"}, rows)
@@ -328,6 +336,7 @@ func cmdGamma(args []string) error {
 	pmax := fs.Float64("pmax", 0.5, "highest price")
 	points := fs.Int("points", 8, "log-spaced price points")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of a table")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -338,25 +347,28 @@ func cmdGamma(args []string) error {
 	if err != nil {
 		return err
 	}
-	tb := report.NewTable("p", "gamma", "C_B", "C_R", "W_B", "W_R")
-	var rows [][]float64
-	for i := 0; i < *points; i++ {
-		frac := float64(i) / float64(*points-1)
-		p := *pmin * math.Pow(*pmax / *pmin, frac)
+	ps := sweep.LogGrid(*pmin, *pmax, *points)
+	rows, err := sweep.Map(context.Background(), *parallel, ps, func(p float64) ([]float64, error) {
 		g, err := m.GammaEqualize(p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pb, err := m.ProvisionBestEffort(p)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pr, err := m.ProvisionReservation(p)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		tb.AddRow(p, g, pb.Capacity, pr.Capacity, pb.Welfare, pr.Welfare)
-		rows = append(rows, []float64{p, g, pb.Capacity, pr.Capacity, pb.Welfare, pr.Welfare})
+		return []float64{p, g, pb.Capacity, pr.Capacity, pb.Welfare, pr.Welfare}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("p", "gamma", "C_B", "C_R", "W_B", "W_R")
+	for _, row := range rows {
+		tb.AddRow(row[0], row[1], row[2], row[3], row[4], row[5])
 	}
 	if *csvOut {
 		return report.WriteCSV(os.Stdout, []string{"p", "gamma", "C_B", "C_R", "W_B", "W_R"}, rows)

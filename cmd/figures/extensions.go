@@ -7,6 +7,7 @@ import (
 	"beqos/internal/dist"
 	"beqos/internal/report"
 	"beqos/internal/sched"
+	"beqos/internal/sweep"
 	"beqos/internal/utility"
 )
 
@@ -80,19 +81,27 @@ func (h *harness) x1Heterogeneous() error {
 	if h.quick {
 		cs = []float64{100, 400}
 	}
-	for _, c := range cs {
+	type x1Row struct{ dp, dh, gp, gh float64 }
+	points, err := sweep.Map(h.context(), h.workers, cs, func(c float64) (x1Row, error) {
 		dp := pure.PerformanceGap(c)
 		dh := hetero.PerformanceGap(c)
 		gp, err := pure.BandwidthGap(c)
 		if err != nil {
-			return err
+			return x1Row{}, err
 		}
 		gh, err := hetero.BandwidthGap(c)
 		if err != nil {
-			return err
+			return x1Row{}, err
 		}
-		tb.AddRow(c, dp, dh, gp, gh)
-		rows = append(rows, []float64{c, dp, dh, gp, gh})
+		return x1Row{dp: dp, dh: dh, gp: gp, gh: gh}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range cs {
+		pt := points[i]
+		tb.AddRow(c, pt.dp, pt.dh, pt.gp, pt.gh)
+		rows = append(rows, []float64{c, pt.dp, pt.dh, pt.gp, pt.gh})
 	}
 	if err := h.writeCSV("x1_heterogeneous", []string{"C", "delta_pure", "delta_hetero", "Delta_pure", "Delta_hetero"}, rows); err != nil {
 		return err
@@ -137,21 +146,29 @@ func (h *harness) x2Nonstationary() error {
 	if h.quick {
 		cs = []float64{200, 800}
 	}
-	for _, c := range cs {
+	type x2Row struct{ gl, gm, gh float64 }
+	points, err := sweep.Map(h.context(), h.workers, cs, func(c float64) (x2Row, error) {
 		gl, err := mLight.BandwidthGap(c)
 		if err != nil {
-			return err
+			return x2Row{}, err
 		}
 		gm, err := mMixed.BandwidthGap(c)
 		if err != nil {
-			return err
+			return x2Row{}, err
 		}
 		gh, err := mHeavy.BandwidthGap(c)
 		if err != nil {
-			return err
+			return x2Row{}, err
 		}
-		tb.AddRow(c, gl, gm, gh)
-		rows = append(rows, []float64{c, gl, gm, gh})
+		return x2Row{gl: gl, gm: gm, gh: gh}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range cs {
+		pt := points[i]
+		tb.AddRow(c, pt.gl, pt.gm, pt.gh)
+		rows = append(rows, []float64{c, pt.gl, pt.gm, pt.gh})
 	}
 	if err := h.writeCSV("x2_nonstationary", []string{"C", "Delta_light", "Delta_mix", "Delta_heavy"}, rows); err != nil {
 		return err

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -11,16 +12,30 @@ import (
 	"beqos/internal/dist"
 	"beqos/internal/report"
 	"beqos/internal/sim"
+	"beqos/internal/sweep"
 	"beqos/internal/utility"
 )
 
 // kbar is the paper's mean offered load.
 const kbar = 100.0
 
-// harness owns the output directory and grid sizing.
+// harness owns the output directory, grid sizing, and the worker budget for
+// the parallel sweeps. Every grid is evaluated through sweep.Map, which
+// preserves input order, so the emitted CSV rows are byte-identical to a
+// sequential run regardless of the worker count.
 type harness struct {
-	dir   string
-	quick bool
+	dir     string
+	quick   bool
+	workers int
+	ctx     context.Context
+}
+
+// context returns the harness's cancellation context.
+func (h *harness) context() context.Context {
+	if h.ctx != nil {
+		return h.ctx
+	}
+	return context.Background()
 }
 
 // cGrid returns the capacity grid for the figure sweeps.
@@ -29,24 +44,16 @@ func (h *harness) cGrid() []float64 {
 	if h.quick {
 		step = 100
 	}
-	var out []float64
-	for c := step; c <= 1000; c += step {
-		out = append(out, c)
-	}
-	return out
+	return sweep.Grid(step, 1000, step)
 }
 
-// pGrid returns a log-spaced price grid.
+// pGrid returns a log-spaced price grid. Quick mode shrinks it to 3 points;
+// sweep.LogGrid guards the degenerate n < 2 case.
 func (h *harness) pGrid(lo, hi float64, n int) []float64 {
 	if h.quick {
 		n = 3
 	}
-	out := make([]float64, n)
-	for i := range out {
-		frac := float64(i) / float64(n-1)
-		out[i] = lo * math.Pow(hi/lo, frac)
-	}
-	return out
+	return sweep.LogGrid(lo, hi, n)
 }
 
 func (h *harness) writeCSV(name string, header []string, rows [][]float64) error {
@@ -127,6 +134,17 @@ func (h *harness) fig1() error {
 	return h.writePlot("fig1_adaptive_utility", &p)
 }
 
+// gapsRow is one capacity point of a figure's utility/gap panels.
+type gapsRow struct {
+	b, r, g float64
+}
+
+// gammaRow is one price point of a figure's welfare panel.
+type gammaRow struct {
+	gamma  float64
+	pb, pr core.Provision
+}
+
 // figureFamily renders the six panels of Figures 2–4 for one load.
 func (h *harness) figureFamily(prefix, loadName string) error {
 	for _, utilName := range []string{"rigid", "adaptive"} {
@@ -134,22 +152,30 @@ func (h *harness) figureFamily(prefix, loadName string) error {
 		if err != nil {
 			return err
 		}
-		// Panels a/d (utility curves) and b/e (bandwidth gap).
-		var utilRows, gapRows [][]float64
-		var cs, bs, rs, gaps []float64
-		for _, c := range h.cGrid() {
+		// Panels a/d (utility curves) and b/e (bandwidth gap), swept in
+		// parallel over the capacity grid.
+		cs := h.cGrid()
+		points, err := sweep.Map(h.context(), h.workers, cs, func(c float64) (gapsRow, error) {
 			b := m.BestEffort(c)
 			r := m.Reservation(c)
 			g, gerr := m.BandwidthGap(c)
 			if gerr != nil {
-				return fmt.Errorf("%s/%s at C=%g: %w", loadName, utilName, c, gerr)
+				return gapsRow{}, fmt.Errorf("%s/%s at C=%g: %w", loadName, utilName, c, gerr)
 			}
-			utilRows = append(utilRows, []float64{c, b, r, r - b})
-			gapRows = append(gapRows, []float64{c, g})
-			cs = append(cs, c)
-			bs = append(bs, b)
-			rs = append(rs, r)
-			gaps = append(gaps, g)
+			return gapsRow{b: b, r: r, g: g}, nil
+		})
+		if err != nil {
+			return err
+		}
+		var utilRows, gapRows [][]float64
+		var bs, rs, gaps []float64
+		for i, c := range cs {
+			pt := points[i]
+			utilRows = append(utilRows, []float64{c, pt.b, pt.r, pt.r - pt.b})
+			gapRows = append(gapRows, []float64{c, pt.g})
+			bs = append(bs, pt.b)
+			rs = append(rs, pt.r)
+			gaps = append(gaps, pt.g)
 		}
 		base := fmt.Sprintf("%s_%s_%s", prefix, loadName, utilName)
 		if err := h.writeCSV(base+"_utility", []string{"C", "B", "R", "delta"}, utilRows); err != nil {
@@ -181,29 +207,37 @@ func (h *harness) figureFamily(prefix, loadName string) error {
 		if err := h.writePlot(base+"_gap", &gp); err != nil {
 			return err
 		}
-		// Panels c/f: equalizing price ratio γ(p).
+		// Panels c/f: equalizing price ratio γ(p), swept in parallel over
+		// the price grid.
 		lo := 1e-3
 		if loadName == "algebraic" && utilName == "adaptive" {
 			lo = 1e-2 // heavy case; see DESIGN.md timing notes
 		}
-		var gammaRows [][]float64
-		var ps, gammas []float64
-		for _, p := range h.pGrid(lo, 0.6, 10) {
+		ps := h.pGrid(lo, 0.6, 10)
+		gpoints, err := sweep.Map(h.context(), h.workers, ps, func(p float64) (gammaRow, error) {
 			gamma, gerr := m.GammaEqualize(p)
 			if gerr != nil {
-				return fmt.Errorf("%s/%s γ(%g): %w", loadName, utilName, p, gerr)
+				return gammaRow{}, fmt.Errorf("%s/%s γ(%g): %w", loadName, utilName, p, gerr)
 			}
 			pb, gerr := m.ProvisionBestEffort(p)
 			if gerr != nil {
-				return gerr
+				return gammaRow{}, gerr
 			}
 			pr, gerr := m.ProvisionReservation(p)
 			if gerr != nil {
-				return gerr
+				return gammaRow{}, gerr
 			}
-			gammaRows = append(gammaRows, []float64{p, gamma, pb.Capacity, pr.Capacity, pb.Welfare, pr.Welfare})
-			ps = append(ps, p)
-			gammas = append(gammas, gamma)
+			return gammaRow{gamma: gamma, pb: pb, pr: pr}, nil
+		})
+		if err != nil {
+			return err
+		}
+		var gammaRows [][]float64
+		var gammas []float64
+		for i, p := range ps {
+			gr := gpoints[i]
+			gammaRows = append(gammaRows, []float64{p, gr.gamma, gr.pb.Capacity, gr.pr.Capacity, gr.pb.Welfare, gr.pr.Welfare})
+			gammas = append(gammas, gr.gamma)
 		}
 		if err := h.writeCSV(base+"_gamma",
 			[]string{"p", "gamma", "C_B", "C_R", "W_B", "W_R"}, gammaRows); err != nil {
@@ -332,37 +366,46 @@ func (h *harness) t2WorstCase() error {
 
 // t3SlowTail measures the Δ(C) growth exponent for slow-tail utilities.
 func (h *harness) t3SlowTail() error {
-	tb := report.NewTable("z", "tau", "predicted exponent", "measured exponent")
-	var rows [][]float64
-	cases := []struct{ z, tau float64 }{
+	type stCase struct{ z, tau float64 }
+	cases := []stCase{
 		{3, 2}, {3.5, 1.5}, {4, 1.5}, {4, 1.2}, {4.5, 1},
 	}
-	for _, cse := range cases {
+	type stRow struct{ predicted, measured float64 }
+	points, err := sweep.Map(h.context(), h.workers, cases, func(cse stCase) (stRow, error) {
 		st, err := utility.NewSlowTail(cse.tau)
 		if err != nil {
-			return err
+			return stRow{}, err
 		}
 		d, err := dist.NewAlgDensity(cse.z)
 		if err != nil {
-			return err
+			return stRow{}, err
 		}
 		num, err := continuum.NewNumeric(d, st, st.KStar)
 		if err != nil {
-			return err
+			return stRow{}, err
 		}
 		c1, c2 := 300.0, 1200.0
 		g1, err := num.BandwidthGap(c1)
 		if err != nil {
-			return err
+			return stRow{}, err
 		}
 		g2, err := num.BandwidthGap(c2)
 		if err != nil {
-			return err
+			return stRow{}, err
 		}
-		measured := math.Log(g2/g1) / math.Log(c2/c1)
-		predicted := continuum.SlowTailGapExponent(cse.z, cse.tau)
-		tb.AddRow(cse.z, cse.tau, predicted, measured)
-		rows = append(rows, []float64{cse.z, cse.tau, predicted, measured})
+		return stRow{
+			predicted: continuum.SlowTailGapExponent(cse.z, cse.tau),
+			measured:  math.Log(g2/g1) / math.Log(c2/c1),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("z", "tau", "predicted exponent", "measured exponent")
+	var rows [][]float64
+	for i, cse := range cases {
+		tb.AddRow(cse.z, cse.tau, points[i].predicted, points[i].measured)
+		rows = append(rows, []float64{cse.z, cse.tau, points[i].predicted, points[i].measured})
 	}
 	if err := h.writeCSV("t3_slowtail", []string{"z", "tau", "predicted", "measured"}, rows); err != nil {
 		return err
@@ -370,7 +413,9 @@ func (h *harness) t3SlowTail() error {
 	return h.writeTable("t3_slowtail", tb)
 }
 
-// e1Sampling sweeps the §5.1 extension.
+// e1Sampling sweeps the §5.1 extension. The four load/utility combinations
+// are independent models, so they run concurrently; within one combination
+// the (S, C) grid stays sequential to keep each worker's cache walk warm.
 func (h *harness) e1Sampling() error {
 	sValues := []int{1, 2, 5, 10}
 	cValues := []float64{50, 100, 150, 200, 300, 400}
@@ -378,29 +423,49 @@ func (h *harness) e1Sampling() error {
 		sValues = []int{1, 10}
 		cValues = []float64{100, 200}
 	}
-	var rows [][]float64
-	tb := report.NewTable("load", "util", "S", "C", "delta_S", "Delta_S")
+	type combo struct{ loadName, utilName string }
+	var combos []combo
 	for _, loadName := range []string{"exponential", "algebraic"} {
 		for _, utilName := range []string{"rigid", "adaptive"} {
-			m, err := h.model(loadName, utilName)
+			combos = append(combos, combo{loadName, utilName})
+		}
+	}
+	type comboRow struct {
+		s    int
+		c    float64
+		d, g float64
+	}
+	results, err := sweep.Map(h.context(), h.workers, combos, func(cb combo) ([]comboRow, error) {
+		m, err := h.model(cb.loadName, cb.utilName)
+		if err != nil {
+			return nil, err
+		}
+		var out []comboRow
+		for _, s := range sValues {
+			sp, err := core.NewSampling(m, s)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			for _, s := range sValues {
-				sp, err := core.NewSampling(m, s)
+			for _, c := range cValues {
+				d := sp.PerformanceGap(c)
+				g, err := sp.BandwidthGap(c)
 				if err != nil {
-					return err
+					return nil, err
 				}
-				for _, c := range cValues {
-					d := sp.PerformanceGap(c)
-					g, err := sp.BandwidthGap(c)
-					if err != nil {
-						return err
-					}
-					tb.AddRow(loadName, utilName, s, c, d, g)
-					rows = append(rows, []float64{float64(s), c, d, g})
-				}
+				out = append(out, comboRow{s: s, c: c, d: d, g: g})
 			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	tb := report.NewTable("load", "util", "S", "C", "delta_S", "Delta_S")
+	for i, cb := range combos {
+		for _, r := range results[i] {
+			tb.AddRow(cb.loadName, cb.utilName, r.s, r.c, r.d, r.g)
+			rows = append(rows, []float64{float64(r.s), r.c, r.d, r.g})
 		}
 	}
 	if err := h.writeCSV("e1_sampling", []string{"S", "C", "delta", "Delta"}, rows); err != nil {
@@ -423,19 +488,26 @@ func (h *harness) e1Sampling() error {
 	if h.quick {
 		ps = []float64{0.1}
 	}
-	gtb := report.NewTable("p", "gamma_basic", "gamma_S10")
-	var grows [][]float64
-	for _, p := range ps {
+	type gpair struct{ gb, gs float64 }
+	gpoints, err := sweep.Map(h.context(), h.workers, ps, func(p float64) (gpair, error) {
 		gb, err := m.GammaEqualize(p)
 		if err != nil {
-			return err
+			return gpair{}, err
 		}
 		gs, err := sp.GammaEqualize(p)
 		if err != nil {
-			return err
+			return gpair{}, err
 		}
-		gtb.AddRow(p, gb, gs)
-		grows = append(grows, []float64{p, gb, gs})
+		return gpair{gb: gb, gs: gs}, nil
+	})
+	if err != nil {
+		return err
+	}
+	gtb := report.NewTable("p", "gamma_basic", "gamma_S10")
+	var grows [][]float64
+	for i, p := range ps {
+		gtb.AddRow(p, gpoints[i].gb, gpoints[i].gs)
+		grows = append(grows, []float64{p, gpoints[i].gb, gpoints[i].gs})
 	}
 	if err := h.writeCSV("e1_sampling_gamma", []string{"p", "gamma_basic", "gamma_S10"}, grows); err != nil {
 		return err
@@ -461,42 +533,64 @@ func (h *harness) e2SamplingAsym() error {
 	return h.writeTable("e2_sampling_asym", tb)
 }
 
-// e3Retry sweeps the §5.2 extension with α = 0.1.
+// e3Retry sweeps the §5.2 extension with α = 0.1. Each load/utility
+// combination owns its model and retry caches, so the six combinations run
+// concurrently on the worker pool.
 func (h *harness) e3Retry() error {
 	const alpha = 0.1
 	cValues := []float64{150, 200, 300, 400, 600}
 	if h.quick {
 		cValues = []float64{200, 400}
 	}
-	tb := report.NewTable("load", "util", "C", "delta_basic", "delta_retry", "Delta_retry", "L_hat", "theta")
-	var rows [][]float64
+	type combo struct{ loadName, utilName string }
+	var combos []combo
 	for _, loadName := range []string{"poisson", "exponential", "algebraic"} {
 		for _, utilName := range []string{"rigid", "adaptive"} {
-			m, err := h.model(loadName, utilName)
+			combos = append(combos, combo{loadName, utilName})
+		}
+	}
+	type retryRow struct {
+		c                 float64
+		dB, dR, g         float64
+		effMean, blocking float64
+	}
+	results, err := sweep.Map(h.context(), h.workers, combos, func(cb combo) ([]retryRow, error) {
+		m, err := h.model(cb.loadName, cb.utilName)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := core.NewRetry(m, alpha)
+		if err != nil {
+			return nil, err
+		}
+		var out []retryRow
+		for _, c := range cValues {
+			dB := m.PerformanceGap(c)
+			dR, err := rt.PerformanceGap(c)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			rt, err := core.NewRetry(m, alpha)
+			g, err := rt.BandwidthGap(c)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			for _, c := range cValues {
-				dB := m.PerformanceGap(c)
-				dR, err := rt.PerformanceGap(c)
-				if err != nil {
-					return err
-				}
-				g, err := rt.BandwidthGap(c)
-				if err != nil {
-					return err
-				}
-				fp, err := rt.Equilibrium(c)
-				if err != nil {
-					return err
-				}
-				tb.AddRow(loadName, utilName, c, dB, dR, g, fp.EffectiveMean, fp.Blocking)
-				rows = append(rows, []float64{c, dB, dR, g, fp.EffectiveMean, fp.Blocking})
+			fp, err := rt.Equilibrium(c)
+			if err != nil {
+				return nil, err
 			}
+			out = append(out, retryRow{c: c, dB: dB, dR: dR, g: g, effMean: fp.EffectiveMean, blocking: fp.Blocking})
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("load", "util", "C", "delta_basic", "delta_retry", "Delta_retry", "L_hat", "theta")
+	var rows [][]float64
+	for i, cb := range combos {
+		for _, r := range results[i] {
+			tb.AddRow(cb.loadName, cb.utilName, r.c, r.dB, r.dR, r.g, r.effMean, r.blocking)
+			rows = append(rows, []float64{r.c, r.dB, r.dR, r.g, r.effMean, r.blocking})
 		}
 	}
 	if err := h.writeCSV("e3_retry", []string{"C", "delta_basic", "delta_retry", "Delta_retry", "L_hat", "theta"}, rows); err != nil {
@@ -516,19 +610,26 @@ func (h *harness) e3Retry() error {
 	if h.quick {
 		ps = []float64{0.1}
 	}
-	gtb := report.NewTable("p", "gamma_basic", "gamma_retry")
-	var grows [][]float64
-	for _, p := range ps {
+	type gpair struct{ gb, gr float64 }
+	gpoints, err := sweep.Map(h.context(), h.workers, ps, func(p float64) (gpair, error) {
 		gb, err := m.GammaEqualize(p)
 		if err != nil {
-			return err
+			return gpair{}, err
 		}
 		gr, err := rt.GammaEqualize(p)
 		if err != nil {
-			return err
+			return gpair{}, err
 		}
-		gtb.AddRow(p, gb, gr)
-		grows = append(grows, []float64{p, gb, gr})
+		return gpair{gb: gb, gr: gr}, nil
+	})
+	if err != nil {
+		return err
+	}
+	gtb := report.NewTable("p", "gamma_basic", "gamma_retry")
+	var grows [][]float64
+	for i, p := range ps {
+		gtb.AddRow(p, gpoints[i].gb, gpoints[i].gr)
+		grows = append(grows, []float64{p, gpoints[i].gb, gpoints[i].gr})
 	}
 	if err := h.writeCSV("e3_retry_gamma", []string{"p", "gamma_basic", "gamma_retry"}, grows); err != nil {
 		return err
@@ -558,7 +659,8 @@ func (h *harness) e4RetryAsym() error {
 }
 
 // s1SimPoisson validates the analytical model against simulated Poisson
-// dynamics.
+// dynamics. The six (capacity, policy) runs are independent seeded
+// simulations, so they run concurrently.
 func (h *harness) s1SimPoisson() error {
 	horizon := 30000.0
 	if h.quick {
@@ -584,26 +686,44 @@ func (h *harness) s1SimPoisson() error {
 	if err != nil {
 		return err
 	}
+	type simCase struct {
+		c      float64
+		policy sim.Policy
+	}
+	var cases []simCase
+	for _, c := range []float64{90, 110, 130} {
+		for _, policy := range []sim.Policy{sim.BestEffort, sim.Reservation} {
+			cases = append(cases, simCase{c: c, policy: policy})
+		}
+	}
+	type simRow struct {
+		simUtil, modelUtil, blocking float64
+	}
+	points, err := sweep.Map(h.context(), h.workers, cases, func(cse simCase) (simRow, error) {
+		res, err := sim.Run(sim.Config{
+			Capacity: cse.c, Util: rigid, Policy: cse.policy,
+			Arrivals: arr, Holding: hold,
+			Horizon: horizon, Warmup: horizon / 60, Samples: 1,
+			Seed1: 1, Seed2: 2,
+		})
+		if err != nil {
+			return simRow{}, err
+		}
+		want := m.BestEffort(cse.c)
+		if cse.policy == sim.Reservation {
+			want = m.Reservation(cse.c)
+		}
+		return simRow{simUtil: res.MeanUtility, modelUtil: want, blocking: res.BlockingRate}, nil
+	})
+	if err != nil {
+		return err
+	}
 	tb := report.NewTable("C", "policy", "sim utility", "model utility", "sim blocking")
 	var rows [][]float64
-	for _, c := range []float64{90, 110, 130} {
-		for i, policy := range []sim.Policy{sim.BestEffort, sim.Reservation} {
-			res, err := sim.Run(sim.Config{
-				Capacity: c, Util: rigid, Policy: policy,
-				Arrivals: arr, Holding: hold,
-				Horizon: horizon, Warmup: horizon / 60, Samples: 1,
-				Seed1: 1, Seed2: 2,
-			})
-			if err != nil {
-				return err
-			}
-			want := m.BestEffort(c)
-			if policy == sim.Reservation {
-				want = m.Reservation(c)
-			}
-			tb.AddRow(c, policy.String(), res.MeanUtility, want, res.BlockingRate)
-			rows = append(rows, []float64{c, float64(i), res.MeanUtility, want, res.BlockingRate})
-		}
+	for i, cse := range cases {
+		pt := points[i]
+		tb.AddRow(cse.c, cse.policy.String(), pt.simUtil, pt.modelUtil, pt.blocking)
+		rows = append(rows, []float64{cse.c, float64(cse.policy), pt.simUtil, pt.modelUtil, pt.blocking})
 	}
 	if err := h.writeCSV("s1_sim_poisson", []string{"C", "policy", "sim_util", "model_util", "blocking"}, rows); err != nil {
 		return err
@@ -633,12 +753,15 @@ func (h *harness) s2SimHeavyTail() error {
 	if err != nil {
 		return err
 	}
-	tb := report.NewTable("traffic", "mean occ", "occ variance", "delta(150)", "Delta(150)")
-	var rows [][]float64
-	for i, tc := range []struct {
+	type tailCase struct {
 		name string
 		arr  sim.Arrivals
-	}{{"poisson", poissonArr}, {"sessions", sessionArr}} {
+	}
+	cases := []tailCase{{"poisson", poissonArr}, {"sessions", sessionArr}}
+	type tailRow struct {
+		mean, variance, d, g float64
+	}
+	points, err := sweep.Map(h.context(), h.workers, cases, func(tc tailCase) (tailRow, error) {
 		res, err := sim.Run(sim.Config{
 			Capacity: 1e9, Util: rigid, Policy: sim.BestEffort,
 			Arrivals: tc.arr, Holding: hold,
@@ -646,21 +769,30 @@ func (h *harness) s2SimHeavyTail() error {
 			Seed1: 11, Seed2: 12,
 		})
 		if err != nil {
-			return err
+			return tailRow{}, err
 		}
 		mean := res.AvgOccupancy
 		variance := res.Occupancy.SquareTailMean(-1) - mean*mean
 		m, err := core.New(res.Occupancy, rigid)
 		if err != nil {
-			return err
+			return tailRow{}, err
 		}
 		d := m.PerformanceGap(150)
 		g, err := m.BandwidthGap(150)
 		if err != nil {
-			return err
+			return tailRow{}, err
 		}
-		tb.AddRow(tc.name, mean, variance, d, g)
-		rows = append(rows, []float64{float64(i), mean, variance, d, g})
+		return tailRow{mean: mean, variance: variance, d: d, g: g}, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("traffic", "mean occ", "occ variance", "delta(150)", "Delta(150)")
+	var rows [][]float64
+	for i, tc := range cases {
+		pt := points[i]
+		tb.AddRow(tc.name, pt.mean, pt.variance, pt.d, pt.g)
+		rows = append(rows, []float64{float64(i), pt.mean, pt.variance, pt.d, pt.g})
 	}
 	if err := h.writeCSV("s2_sim_heavytail", []string{"traffic", "mean", "variance", "delta150", "Delta150"}, rows); err != nil {
 		return err

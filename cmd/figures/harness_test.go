@@ -1,0 +1,51 @@
+package main
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPGridQuickMode pins the quick-mode grid shrink: forcing n = 3 must
+// still produce a finite, increasing grid spanning [lo, hi], and degenerate
+// requests (n < 2) must not divide by zero.
+func TestPGridQuickMode(t *testing.T) {
+	h := &harness{quick: true}
+	ps := h.pGrid(1e-3, 0.6, 10)
+	if len(ps) != 3 {
+		t.Fatalf("quick pGrid has %d points, want 3", len(ps))
+	}
+	if ps[0] != 1e-3 {
+		t.Errorf("first = %v, want 1e-3", ps[0])
+	}
+	if math.Abs(ps[2]-0.6) > 1e-15 {
+		t.Errorf("last = %v, want 0.6", ps[2])
+	}
+	for i, p := range ps {
+		if math.IsNaN(p) || math.IsInf(p, 0) || p <= 0 {
+			t.Fatalf("point %d = %v, want finite positive", i, p)
+		}
+		if i > 0 && p <= ps[i-1] {
+			t.Fatalf("grid not increasing at %d: %v then %v", i, ps[i-1], p)
+		}
+	}
+	// A caller passing a degenerate request must get the single-point grid,
+	// not NaN from 0/0 (quick mode overrides n to 3 first, so check the
+	// guard on a non-quick harness).
+	if got := (&harness{}).pGrid(0.05, 0.6, 1); len(got) != 1 || got[0] != 0.05 {
+		t.Fatalf("pGrid(n=1) = %v, want [0.05]", got)
+	}
+}
+
+// TestCGridQuickMode checks the capacity grid in both modes.
+func TestCGridQuickMode(t *testing.T) {
+	full := (&harness{}).cGrid()
+	if len(full) != 100 || full[0] != 10 || full[len(full)-1] != 1000 {
+		t.Fatalf("full cGrid: %d points [%v … %v], want 100 [10 … 1000]",
+			len(full), full[0], full[len(full)-1])
+	}
+	quick := (&harness{quick: true}).cGrid()
+	if len(quick) != 10 || quick[0] != 100 || quick[len(quick)-1] != 1000 {
+		t.Fatalf("quick cGrid: %d points [%v … %v], want 10 [100 … 1000]",
+			len(quick), quick[0], quick[len(quick)-1])
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"beqos/internal/dist"
+	"beqos/internal/sweep"
+	"beqos/internal/utility"
+)
+
+// concurrencyModel builds the Poisson/adaptive model shared by the tests
+// below.
+func concurrencyModel(t *testing.T) *Model {
+	t.Helper()
+	load, err := dist.NewPoisson(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(load, utility.NewAdaptive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestModelConcurrentUse hammers one shared Model from 32 goroutines — the
+// thread-safety contract documented on Model — and checks every concurrent
+// result against a sequentially computed reference. Run under -race this
+// also exercises the memoization caches and the lazy Poisson table for data
+// races.
+func TestModelConcurrentUse(t *testing.T) {
+	m := concurrencyModel(t)
+	cs := []float64{40, 80, 100, 120, 160, 200, 300, 400}
+
+	type ref struct {
+		b, r, g float64
+		kmax    int
+	}
+	want := make([]ref, len(cs))
+	seq := concurrencyModel(t) // separate instance: cold caches for the reference
+	for i, c := range cs {
+		g, err := seq.BandwidthGap(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ref{b: seq.BestEffort(c), r: seq.Reservation(c), g: g, kmax: seq.KMax(c)}
+	}
+
+	const goroutines = 32
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				// Stagger the starting point so goroutines collide on
+				// different capacities each round.
+				for off := 0; off < len(cs); off++ {
+					i := (worker + round + off) % len(cs)
+					c := cs[i]
+					if got := m.BestEffort(c); math.Float64bits(got) != math.Float64bits(want[i].b) {
+						t.Errorf("B(%g) = %v concurrently, want %v", c, got, want[i].b)
+						return
+					}
+					if got := m.Reservation(c); math.Float64bits(got) != math.Float64bits(want[i].r) {
+						t.Errorf("R(%g) = %v concurrently, want %v", c, got, want[i].r)
+						return
+					}
+					if got := m.KMax(c); got != want[i].kmax {
+						t.Errorf("KMax(%g) = %d concurrently, want %d", c, got, want[i].kmax)
+						return
+					}
+					got, err := m.BandwidthGap(c)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if math.Float64bits(got) != math.Float64bits(want[i].g) {
+						t.Errorf("Δ(%g) = %v concurrently, want %v", c, got, want[i].g)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestExtensionsConcurrentUse exercises the Sampling and Retry extensions'
+// internal caches from many goroutines against sequential references.
+func TestExtensionsConcurrentUse(t *testing.T) {
+	load, err := dist.NewExponentialMean(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rigid, err := utility.NewRigid(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(load, rigid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSampling(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRetry(m, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []float64{150, 200, 300, 400}
+	wantB := make([]float64, len(cs))
+	wantR := make([]float64, len(cs))
+	for i, c := range cs {
+		wantB[i] = sp.BestEffort(c)
+		r, err := rt.Reservation(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantR[i] = r
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				i := (worker + round) % len(cs)
+				if got := sp.BestEffort(cs[i]); math.Float64bits(got) != math.Float64bits(wantB[i]) {
+					t.Errorf("sampling B(%g) = %v concurrently, want %v", cs[i], got, wantB[i])
+					return
+				}
+				got, err := rt.Reservation(cs[i])
+				if err != nil {
+					t.Errorf("retry R(%g): %v", cs[i], err)
+					return
+				}
+				if math.Float64bits(got) != math.Float64bits(wantR[i]) {
+					t.Errorf("retry R(%g) = %v concurrently, want %v", cs[i], got, wantR[i])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestParallelSweepDeterministic checks the end-to-end guarantee the figure
+// harness relies on: sweeping a shared Model over a capacity grid in
+// parallel yields rows bit-identical to a sequential sweep.
+func TestParallelSweepDeterministic(t *testing.T) {
+	m := concurrencyModel(t)
+	cs := sweep.Grid(10, 400, 10)
+	eval := func(c float64) ([3]float64, error) {
+		g, err := m.BandwidthGap(c)
+		if err != nil {
+			return [3]float64{}, err
+		}
+		return [3]float64{m.BestEffort(c), m.Reservation(c), g}, nil
+	}
+	want, err := sweep.Map(context.Background(), 1, cs, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sweep.Map(context.Background(), 16, cs, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := 0; j < 3; j++ {
+			if math.Float64bits(got[i][j]) != math.Float64bits(want[i][j]) {
+				t.Fatalf("row %d field %d: parallel %v, sequential %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}

@@ -15,6 +15,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"beqos/internal/dist"
 	"beqos/internal/numeric"
@@ -25,8 +27,44 @@ import (
 // finding on normalized utilities (which lie in [0, 1]).
 const defaultTol = 1e-10
 
+// maxMemoEntries bounds each per-Model memoization cache. Sweeps, Brent
+// inversions and welfare scans revisit far fewer points than this; the cap
+// only guards pathological callers against unbounded growth.
+const maxMemoEntries = 1 << 20
+
+// memo is a concurrency-safe, size-capped memoization cache for pure
+// float64-keyed evaluations.
+type memo[V any] struct {
+	m sync.Map
+	n atomic.Int64
+}
+
+func (mc *memo[V]) get(c float64) (V, bool) {
+	if v, ok := mc.m.Load(c); ok {
+		return v.(V), true
+	}
+	var zero V
+	return zero, false
+}
+
+func (mc *memo[V]) put(c float64, v V) V {
+	if mc.n.Load() < maxMemoEntries {
+		if _, loaded := mc.m.LoadOrStore(c, v); !loaded {
+			mc.n.Add(1)
+		}
+	}
+	return v
+}
+
 // Model is the paper's variable-load model: a single link whose offered
 // load (number of flows) is drawn from a static probability distribution.
+//
+// A Model is safe for concurrent use by multiple goroutines: the load
+// distribution is wrapped in an immutable tabulated decorator at
+// construction, the utility functions are stateless, and the memoization
+// caches below are concurrency-safe. Methods are pure functions of their
+// arguments, so concurrent and sequential evaluation return bit-identical
+// results regardless of interleaving.
 type Model struct {
 	load dist.Discrete
 	util utility.Function
@@ -41,10 +79,18 @@ type Model struct {
 	// It is far past the bulk of the load mass, so the integrand is smooth
 	// and slowly varying there.
 	kcut int
+
+	// Memoization caches: Brent inversions (BandwidthGap), welfare scans
+	// (GammaEqualize) and grid sweeps re-evaluate the same capacities many
+	// times; caching the pure results makes repeats O(1).
+	kmaxMemo memo[int]
+	beMemo   memo[float64]
+	resvMemo memo[float64]
 }
 
 // New returns a variable-load model for the given load distribution and
-// utility function.
+// utility function. The load is wrapped in a dist.Tabulate decorator, so
+// every per-term PMF/CDF/tail query in the series below is an array load.
 func New(load dist.Discrete, util utility.Function) (*Model, error) {
 	if load == nil || util == nil {
 		return nil, fmt.Errorf("core: load and utility must be non-nil")
@@ -53,6 +99,7 @@ func New(load dist.Discrete, util utility.Function) (*Model, error) {
 	if !(mean > 0) || math.IsInf(mean, 0) {
 		return nil, fmt.Errorf("core: load mean must be positive and finite, got %g", mean)
 	}
+	load = dist.Tabulate(load)
 	_, inelastic := utility.KMax(util, math.Max(mean, 16))
 	kcut := 4 * load.Quantile(0.999)
 	if kcut < 1024 {
@@ -68,7 +115,8 @@ func New(load dist.Discrete, util utility.Function) (*Model, error) {
 	}, nil
 }
 
-// Load returns the model's load distribution.
+// Load returns the model's load distribution (the tabulated decorator
+// wrapping the distribution passed to New).
 func (m *Model) Load() dist.Discrete { return m.load }
 
 // Util returns the model's utility function.
@@ -81,16 +129,26 @@ func (m *Model) MeanLoad() float64 { return m.mean }
 // reservation-capable architecture, or the largest representable load for
 // elastic utilities (for which admission control never helps).
 func (m *Model) KMax(c float64) int {
+	if k, ok := m.kmaxMemo.get(c); ok {
+		return k
+	}
 	k, ok := utility.KMax(m.util, c)
 	if !ok {
-		return math.MaxInt32
+		k = math.MaxInt32
 	}
-	return k
+	return m.kmaxMemo.put(c, k)
 }
 
 // TotalBestEffort returns V_B(C) = Σ_k P(k)·k·π(C/k): the expected total
 // utility of the best-effort-only architecture at capacity C.
 func (m *Model) TotalBestEffort(c float64) float64 {
+	if v, ok := m.beMemo.get(c); ok {
+		return v
+	}
+	return m.beMemo.put(c, m.totalBestEffort(c))
+}
+
+func (m *Model) totalBestEffort(c float64) float64 {
 	if c <= 0 {
 		return 0
 	}
@@ -100,7 +158,7 @@ func (m *Model) TotalBestEffort(c float64) float64 {
 		cut := int(math.Floor(c / r.Bhat))
 		return m.mean - m.load.TailMean(cut)
 	}
-	rp, hasRealPMF := m.load.(dist.RealPMF)
+	rp, hasRealPMF := dist.AsRealPMF(m.load)
 	kcut := m.kcut
 	var sum numeric.KahanSum
 	check := 32 // next index at which to test the truncation bound
@@ -137,6 +195,13 @@ func (m *Model) TotalBestEffort(c float64) float64 {
 // service, min(k, kmax) are admitted, each receiving C/min(k, kmax);
 // rejected flows receive zero utility.
 func (m *Model) TotalReservation(c float64) float64 {
+	if v, ok := m.resvMemo.get(c); ok {
+		return v
+	}
+	return m.resvMemo.put(c, m.totalReservation(c))
+}
+
+func (m *Model) totalReservation(c float64) float64 {
 	if c <= 0 {
 		return 0
 	}
@@ -156,7 +221,7 @@ func (m *Model) TotalReservation(c float64) float64 {
 	}
 	var sum numeric.KahanSum
 	head := kmax
-	if rp, ok := m.load.(dist.RealPMF); ok && kmax > m.kcut {
+	if rp, ok := dist.AsRealPMF(m.load); ok && kmax > m.kcut {
 		// Heavy-tailed loads: sum directly through the bulk, then close the
 		// smooth remainder of the head with a midpoint-rule integral.
 		head = m.kcut

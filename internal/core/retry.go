@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"beqos/internal/dist"
 	"beqos/internal/numeric"
@@ -14,13 +15,17 @@ import (
 // models the inflated load as the same distribution family with a larger
 // mean L̂, determined self-consistently from the blocking it induces.
 //
-// A Retry caches equilibria and inflated distributions internally and is
-// not safe for concurrent use.
+// A Retry caches equilibria and inflated distributions internally; the
+// caches are guarded by a mutex, so a Retry is safe for concurrent use
+// (equilibrium solves serialize, but the Model evaluations they feed do
+// not).
 type Retry struct {
 	m     *Model
 	fam   dist.Family
 	alpha float64
 
+	// mu guards every cache field below, including lastL.
+	mu sync.Mutex
 	// distCache memoizes WithMean results on a fine relative grid
 	// (≈0.01%): the equilibrium solves visit smoothly varying means, and
 	// family recalibration is the dominant cost.
@@ -30,8 +35,6 @@ type Retry struct {
 	// the capacity that the fixed point depends on.
 	eqCache map[int]FixedPoint
 	eqErr   map[int]error
-	// lastL warm-starts the fixed-point iteration.
-	lastL float64
 }
 
 // NewRetry returns the retrying extension of the model with per-retry
@@ -41,7 +44,7 @@ func NewRetry(m *Model, alpha float64) (*Retry, error) {
 	if !(alpha >= 0) {
 		return nil, fmt.Errorf("core: retry penalty must be nonnegative, got %g", alpha)
 	}
-	fam, ok := m.load.(dist.Family)
+	fam, ok := dist.AsFamily(m.load)
 	if !ok {
 		return nil, fmt.Errorf("core: retry extension needs a mean-parameterized load family, got %T", m.load)
 	}
@@ -51,7 +54,6 @@ func NewRetry(m *Model, alpha float64) (*Retry, error) {
 		modelCache: make(map[int64]*Model),
 		eqCache:    make(map[int]FixedPoint),
 		eqErr:      make(map[int]error),
-		lastL:      m.mean,
 	}, nil
 }
 
@@ -91,7 +93,7 @@ func meanKey(mean float64) int64 {
 }
 
 // withMean returns the family recalibrated to (a quantized neighborhood of)
-// the given mean.
+// the given mean. The caller must hold rt.mu.
 func (rt *Retry) withMean(mean float64) (dist.Discrete, error) {
 	key := meanKey(mean)
 	if d, ok := rt.distCache[key]; ok {
@@ -108,6 +110,9 @@ func (rt *Retry) withMean(mean float64) (dist.Discrete, error) {
 }
 
 // inflatedModel returns a Model over the quantized inflated distribution.
+// The caller must hold rt.mu; core.New tabulates the inflated distribution,
+// so every equilibrium's model gets the same O(1) evaluation paths as the
+// base model's.
 func (rt *Retry) inflatedModel(mean float64) (*Model, error) {
 	key := meanKey(mean)
 	if m, ok := rt.modelCache[key]; ok {
@@ -135,6 +140,8 @@ func (rt *Retry) Equilibrium(c float64) (FixedPoint, error) {
 	if kmax <= 0 {
 		return FixedPoint{}, fmt.Errorf("core: capacity %g admits no flows; retry storm", c)
 	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	if fp, ok := rt.eqCache[kmax]; ok {
 		return fp, nil
 	}
@@ -147,10 +154,11 @@ func (rt *Retry) Equilibrium(c float64) (FixedPoint, error) {
 		return FixedPoint{}, err
 	}
 	rt.eqCache[kmax] = fp
-	rt.lastL = fp.EffectiveMean
 	return fp, nil
 }
 
+// solveEquilibrium runs the damped fixed-point iteration; the caller must
+// hold rt.mu.
 func (rt *Retry) solveEquilibrium(kmax int) (FixedPoint, error) {
 	thetaAt := func(l float64) (float64, error) {
 		d, err := rt.withMean(l)
@@ -159,9 +167,12 @@ func (rt *Retry) solveEquilibrium(kmax int) (FixedPoint, error) {
 		}
 		return blockingRate(d, kmax), nil
 	}
-	// Damped fixed-point iteration L ← k̄(1 + D(L)), warm-started from the
-	// last solved equilibrium; converges quickly away from retry storms.
-	l := math.Max(rt.lastL, rt.m.mean)
+	// Damped fixed-point iteration L ← k̄(1 + D(L)). Starting from k̄ for
+	// every threshold keeps the solve deterministic regardless of the order
+	// capacities are visited (a warm start from a previous equilibrium
+	// would make the converged value depend on solve order within the
+	// iteration tolerance); converges quickly away from retry storms.
+	l := rt.m.mean
 	converged := false
 	var theta float64
 	for i := 0; i < 60; i++ {
@@ -232,7 +243,9 @@ func (rt *Retry) Reservation(c float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	rt.mu.Lock()
 	inflated, err := rt.inflatedModel(fp.EffectiveMean)
+	rt.mu.Unlock()
 	if err != nil {
 		return 0, err
 	}

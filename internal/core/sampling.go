@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"beqos/internal/dist"
 	"beqos/internal/numeric"
@@ -29,7 +30,9 @@ type Sampling struct {
 	kmaxOverride int
 	// cdfQ lazily caches F_Q(k) for k = 0, 1, …; the size-biased CDF costs
 	// a tail-moment evaluation per entry, and the series below walk it
-	// sequentially for every capacity.
+	// sequentially for every capacity. Guarded by mu so a Sampling, like
+	// the Model it extends, is safe for concurrent use.
+	mu   sync.Mutex
 	cdfQ []float64
 }
 
@@ -84,10 +87,13 @@ func (sp *Sampling) fq(k int) float64 {
 	if k < 0 {
 		return 0
 	}
+	sp.mu.Lock()
 	for len(sp.cdfQ) <= k {
 		sp.cdfQ = append(sp.cdfQ, sp.q.CDF(len(sp.cdfQ)))
 	}
-	return sp.cdfQ[k]
+	v := sp.cdfQ[k]
+	sp.mu.Unlock()
+	return v
 }
 
 // BestEffort returns the per-flow utility of the best-effort-only network

@@ -3,13 +3,36 @@ package dist
 import (
 	"fmt"
 	"math"
+	"sort"
+	"sync"
 )
+
+// maxPoissonTable caps the lazily built Poisson summary table. Means large
+// enough to overflow it (ν ≳ 2M) fall back to the direct summation paths.
+const maxPoissonTable = 1 << 21
 
 // Poisson is the Poisson load distribution of the paper,
 // P(k) = ν^k e^(−ν) / k!, describing load tightly concentrated around its
 // mean ν with extremely rare excursions.
+//
+// CDF, TailProb and Quantile are served from a lazily built table of prefix
+// and suffix sums over the effective support (ν ± 40σ), computed once with
+// the stable recurrence P(k) = P(k−1)·ν/k, so each call is O(1) instead of
+// an O(k) re-summation. The table is guarded by sync.Once; Poisson values
+// (which share the table through an internal pointer) are safe for
+// concurrent use.
 type Poisson struct {
-	nu float64
+	nu  float64
+	tab *poissonTable
+}
+
+// poissonTable holds the shared prefix/suffix sums of a Poisson
+// distribution, built once on first use.
+type poissonTable struct {
+	once sync.Once
+	pmf  []float64 // pmf[k] = P(k), k = 0 … top
+	cdf  []float64 // cdf[k] = P(K ≤ k), forward Kahan sums, clamped to 1
+	tail []float64 // tail[k] = P(K > k), backward Kahan sums
 }
 
 // NewPoisson returns a Poisson load distribution with mean nu > 0.
@@ -17,7 +40,62 @@ func NewPoisson(nu float64) (Poisson, error) {
 	if !(nu > 0) || math.IsInf(nu, 0) {
 		return Poisson{}, fmt.Errorf("dist: Poisson mean must be positive and finite, got %g", nu)
 	}
-	return Poisson{nu: nu}, nil
+	return Poisson{nu: nu, tab: &poissonTable{}}, nil
+}
+
+// table returns the shared summary table, building it on first use, or nil
+// when the support is too large to tabulate.
+func (p Poisson) table() *poissonTable {
+	if p.tab == nil {
+		return nil
+	}
+	p.tab.once.Do(func() {
+		top := int(p.nu+40*math.Sqrt(p.nu)) + 64
+		if top > maxPoissonTable {
+			return
+		}
+		pmf := make([]float64, top+1)
+		// Seed at the mode in log space, then extend outward with the
+		// stable multiplicative recurrence P(k+1) = P(k)·ν/(k+1).
+		mode := int(p.nu)
+		if mode > top {
+			mode = top
+		}
+		pmf[mode] = p.PMF(mode)
+		for k := mode; k > 0; k-- {
+			pmf[k-1] = pmf[k] * float64(k) / p.nu
+		}
+		for k := mode; k < top; k++ {
+			pmf[k+1] = pmf[k] * p.nu / float64(k+1)
+		}
+		cdf := make([]float64, top+1)
+		var s, comp float64
+		for k, t := range pmf {
+			y := t - comp
+			ns := s + y
+			comp = (ns - s) - y
+			s = ns
+			if s > 1 {
+				s = 1
+			}
+			cdf[k] = s
+		}
+		tail := make([]float64, top+1)
+		s, comp = 0, 0
+		for k := top - 1; k >= 0; k-- {
+			t := pmf[k+1]
+			y := t - comp
+			ns := s + y
+			comp = (ns - s) - y
+			s = ns
+			tail[k] = s
+		}
+		p.tab.pmf, p.tab.cdf, p.tab.tail = pmf, cdf, tail
+	})
+	if p.tab.pmf == nil {
+		return nil
+	}
+	return p.tab
 }
 
 // PMF returns P(k), evaluated in log space to stay finite for large k.
@@ -34,7 +112,14 @@ func (p Poisson) CDF(k int) float64 {
 	if k < 0 {
 		return 0
 	}
-	// Sum the PMF directly; the support that matters is O(ν + sqrt(ν)·40).
+	if t := p.table(); t != nil {
+		if k >= len(t.cdf) {
+			return 1
+		}
+		return t.cdf[k]
+	}
+	// Untabulated fallback: sum the PMF directly; the support that matters
+	// is O(ν + sqrt(ν)·40).
 	var s, comp float64
 	for j := 0; j <= k; j++ {
 		t := p.PMF(j)
@@ -61,11 +146,23 @@ func (p Poisson) TailProb(k int) float64 {
 	if k < 0 {
 		return 1
 	}
+	if t := p.table(); t != nil {
+		if k >= len(t.tail) {
+			// Beyond 40σ the tail underflows; match the summation path.
+			return p.tailSum(k)
+		}
+		return t.tail[k]
+	}
 	// For k below the mean, 1 − CDF is well conditioned; above the mean sum
 	// the tail directly so tiny tails are not lost to cancellation.
 	if float64(k) < p.nu {
 		return 1 - p.CDF(k)
 	}
+	return p.tailSum(k)
+}
+
+// tailSum computes P(K > k) by direct summation from k+1.
+func (p Poisson) tailSum(k int) float64 {
 	var s, comp float64
 	for j := k + 1; ; j++ {
 		t := p.PMF(j)
@@ -88,6 +185,18 @@ func (p Poisson) TailMean(k int) float64 {
 
 // Quantile returns the smallest k with CDF(k) ≥ q.
 func (p Poisson) Quantile(q float64) int {
+	if t := p.table(); t != nil {
+		if q <= 0 {
+			return 0
+		}
+		n := len(t.cdf)
+		i := sort.Search(n, func(k int) bool { return t.cdf[k] >= q })
+		if i < n {
+			return i
+		}
+		// q exceeds every tabulated prefix sum (q ≥ 1 − 40σ tail mass).
+		return quantileByScan(p, q, n)
+	}
 	return quantileByScan(p, q, int(p.nu)+1)
 }
 

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// tabulatedBases returns the distributions the models actually tabulate.
+func tabulatedBases(t *testing.T) map[string]Discrete {
+	t.Helper()
+	pois, err := NewPoisson(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := NewExponentialMean(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewAlgebraicMean(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Discrete{"poisson": pois, "exponential": exp, "algebraic": alg}
+}
+
+// TestTabulatedMatchesBase checks that the decorator agrees with the base
+// distribution everywhere: inside the table, at its edge, and beyond it.
+func TestTabulatedMatchesBase(t *testing.T) {
+	for name, base := range tabulatedBases(t) {
+		t.Run(name, func(t *testing.T) {
+			tab, ok := Tabulate(base).(*Tabulated)
+			if !ok {
+				t.Fatalf("Tabulate returned %T, want *Tabulated", Tabulate(base))
+			}
+			kTop := len(tab.pmf) - 1
+			ks := []int{0, 1, 2, 37, 100, 163, 500, 1000, kTop - 1, kTop, kTop + 1, kTop + 500}
+			// The algebraic base's own CDF/tail evaluations are internally
+			// consistent only to ~1e-11, which bounds how closely a table
+			// summed from its PMF can agree with them.
+			const tol = 1e-10
+			for _, k := range ks {
+				if got, want := tab.PMF(k), base.PMF(k); math.Abs(got-want) > tol*(1+math.Abs(want)) {
+					t.Errorf("PMF(%d) = %v, base %v", k, got, want)
+				}
+				if got, want := tab.CDF(k), base.CDF(k); math.Abs(got-want) > tol*(1+want) {
+					t.Errorf("CDF(%d) = %v, base %v", k, got, want)
+				}
+				if got, want := tab.TailProb(k), base.TailProb(k); math.Abs(got-want) > tol*(1+want) {
+					t.Errorf("TailProb(%d) = %v, base %v", k, got, want)
+				}
+				if got, want := tab.TailMean(k), base.TailMean(k); math.Abs(got-want) > 1e-8*(1+want) {
+					t.Errorf("TailMean(%d) = %v, base %v", k, got, want)
+				}
+			}
+			if got, want := tab.Mean(), base.Mean(); got != want {
+				t.Errorf("Mean = %v, base %v", got, want)
+			}
+			for _, p := range []float64{0, 0.001, 0.25, 0.5, 0.9, 0.999, 0.9999999} {
+				if got, want := tab.Quantile(p), base.Quantile(p); got != want {
+					t.Errorf("Quantile(%v) = %d, base %d", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTabulatedInternalConsistency checks the identities that tie the four
+// tables together: CDF + TailProb = 1 and TailMean(k) − TailMean(k+1) =
+// (k+1)·P(k+1).
+func TestTabulatedInternalConsistency(t *testing.T) {
+	for name, base := range tabulatedBases(t) {
+		t.Run(name, func(t *testing.T) {
+			tab := Tabulate(base).(*Tabulated)
+			for k := 0; k < len(tab.pmf)-1; k++ {
+				if s := tab.CDF(k) + tab.TailProb(k); math.Abs(s-1) > 1e-10 {
+					t.Fatalf("CDF(%d)+TailProb(%d) = %v, want 1", k, k, s)
+				}
+				diff := tab.TailMean(k) - tab.TailMean(k+1)
+				want := float64(k+1) * tab.PMF(k+1)
+				if math.Abs(diff-want) > 1e-9*(1+want) {
+					t.Fatalf("TailMean(%d)−TailMean(%d) = %v, want %v", k, k+1, diff, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTabulatedSquareTail checks SquareTailMean against brute force for a
+// base with and without its own SquareTailer implementation.
+func TestTabulatedSquareTail(t *testing.T) {
+	for name, base := range tabulatedBases(t) {
+		t.Run(name, func(t *testing.T) {
+			tab := Tabulate(base).(*Tabulated)
+			for _, k := range []int{-1, 0, 50, 200} {
+				got := tab.SquareTailMean(k)
+				want := squareTail(base, k)
+				if math.Abs(got-want) > 1e-9*(1+want) {
+					t.Errorf("SquareTailMean(%d) = %v, want %v", k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestTabulateIdempotent checks that re-tabulating is a no-op and that
+// already-array-backed distributions pass through unchanged.
+func TestTabulateIdempotent(t *testing.T) {
+	pois, err := NewPoisson(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Tabulate(pois)
+	if again := Tabulate(tab); again != tab {
+		t.Errorf("Tabulate(Tabulate(d)) allocated a new decorator")
+	}
+	emp, err := NewEmpirical([]float64{0.25, 0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Tabulate(emp); got != Discrete(emp) {
+		t.Errorf("Tabulate(*Empirical) = %T, want the Empirical unchanged", got)
+	}
+}
+
+// TestTabulatedUnwrap checks that the As* helpers see through the decorator
+// to the base's optional interfaces.
+func TestTabulatedUnwrap(t *testing.T) {
+	alg, err := NewAlgebraicMean(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Tabulate(alg)
+	if _, ok := tab.(RealPMF); ok {
+		t.Fatalf("*Tabulated unexpectedly implements RealPMF directly")
+	}
+	rp, ok := AsRealPMF(tab)
+	if !ok {
+		t.Fatalf("AsRealPMF failed to unwrap the decorator")
+	}
+	if got, want := rp.PMFAt(123.5), alg.PMFAt(123.5); got != want {
+		t.Errorf("unwrapped PMFAt = %v, want %v", got, want)
+	}
+	fam, ok := AsFamily(tab)
+	if !ok {
+		t.Fatalf("AsFamily failed to unwrap the decorator")
+	}
+	refit, err := fam.WithMean(140)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := refit.Mean(); math.Abs(got-140) > 1e-6 {
+		t.Errorf("unwrapped family WithMean(140).Mean() = %v", got)
+	}
+	// Direct (undecorated) arguments unwrap to themselves.
+	if _, ok := AsRealPMF(alg); !ok {
+		t.Errorf("AsRealPMF(base) = false, want true")
+	}
+	emp, err := NewEmpirical([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AsRealPMF(emp); ok {
+		t.Errorf("AsRealPMF(empirical) = true, want false (no real extension)")
+	}
+}

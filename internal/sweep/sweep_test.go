@@ -1,0 +1,205 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestMapDeterministic is the engine's core guarantee: for a pure function,
+// the result slice is bit-identical to a sequential evaluation regardless of
+// worker count.
+func TestMapDeterministic(t *testing.T) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 0.1 + float64(i)
+	}
+	fn := func(x float64) (float64, error) {
+		return math.Sqrt(x) * math.Log1p(x) / (1 + x*x), nil
+	}
+	want, err := Map(context.Background(), 1, xs, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 16} {
+		got, err := Map(context.Background(), workers, xs, fn)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: out[%d] = %v, sequential %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	xs := make([]int, 257)
+	for i := range xs {
+		xs[i] = i
+	}
+	out, err := Map(context.Background(), 8, xs, func(x int) (int, error) { return 3 * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 3*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, 3*i)
+		}
+	}
+}
+
+// TestForEachErrorWins checks that an error cancels the pool and that the
+// lowest-index error among those observed is the one returned.
+func TestForEachErrorWins(t *testing.T) {
+	n := 64
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 4, n, func(i int) error {
+		ran.Add(1)
+		if i >= 10 {
+			return fmt.Errorf("fail at %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var idx int
+	if _, scanErr := fmt.Sscanf(err.Error(), "fail at %d", &idx); scanErr != nil {
+		t.Fatalf("unexpected error %q", err)
+	}
+	// With 4 workers, the error from one of the first few failing indices
+	// must win; indices far beyond the failure point never run.
+	if idx >= 20 {
+		t.Errorf("returned error from index %d, want one near the first failure", idx)
+	}
+	if got := int(ran.Load()); got == n {
+		t.Errorf("all %d indices ran despite early failure", n)
+	}
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := ForEach(ctx, 1, 10, func(i int) error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("fn ran %d times after cancellation", calls)
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	out, err := Map(context.Background(), 2, []int{1, 2, 3}, func(x int) (int, error) {
+		if x == 2 {
+			return 0, errors.New("boom")
+		}
+		return x, nil
+	})
+	if err == nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, error)", out, err)
+	}
+}
+
+// TestGridMatchesLoop pins Grid to the plain accumulation loop it replaces,
+// including its floating-point stepping behavior.
+func TestGridMatchesLoop(t *testing.T) {
+	cases := []struct{ lo, hi, step float64 }{
+		{10, 1000, 10},
+		{100, 1000, 100},
+		{50, 1000, 50},
+		{0.1, 1, 0.1},
+		{5, 5, 1},
+	}
+	for _, cse := range cases {
+		var want []float64
+		for c := cse.lo; c <= cse.hi; c += cse.step {
+			want = append(want, c)
+		}
+		got := Grid(cse.lo, cse.hi, cse.step)
+		if len(got) != len(want) {
+			t.Fatalf("Grid(%v, %v, %v): %d points, want %d", cse.lo, cse.hi, cse.step, len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("Grid(%v, %v, %v)[%d] = %v, want %v", cse.lo, cse.hi, cse.step, i, got[i], want[i])
+			}
+		}
+	}
+	if got := Grid(10, 5, 1); got != nil {
+		t.Errorf("Grid(10, 5, 1) = %v, want nil", got)
+	}
+	if got := Grid(0, 10, 0); got != nil {
+		t.Errorf("Grid with step 0 = %v, want nil", got)
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	got := LogGrid(1e-3, 0.6, 10)
+	if len(got) != 10 {
+		t.Fatalf("len = %d, want 10", len(got))
+	}
+	if got[0] != 1e-3 {
+		t.Errorf("first = %v, want 1e-3", got[0])
+	}
+	if math.Abs(got[9]-0.6) > 1e-15 {
+		t.Errorf("last = %v, want 0.6", got[9])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Errorf("not increasing at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+	// Ratios are constant on a log grid.
+	r := got[1] / got[0]
+	for i := 2; i < len(got); i++ {
+		if math.Abs(got[i]/got[i-1]-r) > 1e-12 {
+			t.Errorf("ratio drifts at %d", i)
+		}
+	}
+}
+
+// TestLogGridDegenerate pins the quick-mode guard: tiny grids must never
+// divide by zero or emit NaN.
+func TestLogGridDegenerate(t *testing.T) {
+	for _, n := range []int{-1, 0, 1} {
+		got := LogGrid(0.05, 0.6, n)
+		if len(got) != 1 || got[0] != 0.05 {
+			t.Fatalf("LogGrid(n=%d) = %v, want [0.05]", n, got)
+		}
+	}
+	got := LogGrid(0.3, 0.3, 5)
+	if len(got) != 1 || got[0] != 0.3 {
+		t.Fatalf("LogGrid(lo==hi) = %v, want [0.3]", got)
+	}
+	for _, v := range LogGrid(1e-3, 0.6, 3) {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite grid point %v", v)
+		}
+	}
+}
