@@ -201,8 +201,10 @@ func TestFacadeAdmissionProtocol(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	// Grants carry the worst-case share C/kmax = 2/2, not the instantaneous
+	// C/active.
 	ok, share, err := client.Reserve(ctx, 1, 1)
-	if err != nil || !ok || share != 2 {
+	if err != nil || !ok || share != 1 {
 		t.Fatalf("reserve: ok=%v share=%v err=%v", ok, share, err)
 	}
 	kmax, active, err := client.Stats(ctx)

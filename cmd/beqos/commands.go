@@ -238,6 +238,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", ":4742", "listen address")
 	capacity := fs.Float64("capacity", 8, "link capacity C")
 	utilName := fs.String("util", "rigid", "utility function: rigid, adaptive")
+	ttl := fs.Duration("ttl", 0, "soft-state TTL: unrefreshed reservations expire (0 = never)")
 	quiet := fs.Bool("quiet", false, "suppress per-event logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -246,10 +247,11 @@ func cmdServe(args []string) error {
 	if *utilName == "adaptive" {
 		util = beqos.AdaptiveUtility()
 	}
-	srv, err := beqos.NewAdmissionServer(*capacity, util)
+	srv, err := beqos.NewAdmissionServerTTL(*capacity, util, *ttl)
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	if !*quiet {
 		srv.SetLogf(func(format string, a ...interface{}) {
 			fmt.Printf(format+"\n", a...)
@@ -259,8 +261,12 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("beqos: admission server on %s (capacity %g, kmax %d)\n",
-		ln.Addr(), *capacity, srv.KMax())
+	ttlNote := "reservations never expire"
+	if *ttl > 0 {
+		ttlNote = fmt.Sprintf("soft-state TTL %v", *ttl)
+	}
+	fmt.Printf("beqos: admission server on %s (capacity %g, kmax %d, %s)\n",
+		ln.Addr(), *capacity, srv.KMax(), ttlNote)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"beqos/internal/core"
+	"beqos/internal/dist"
+	"beqos/internal/loadgen"
+	"beqos/internal/report"
+	"beqos/internal/resv"
+	"beqos/internal/utility"
+)
+
+// cmdLoad runs the load harness against an admission server — in-process
+// over net.Pipe by default, or a running one with -addr — and
+// cross-validates the measured blocking and utility against the analytical
+// model. It exits non-zero when any check falls outside the 3σ bound, so
+// it doubles as an end-to-end oracle for the serving layer.
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	addr := fs.String("addr", "", "attack a running server at this address instead of an in-process one")
+	capacity := fs.Float64("capacity", 100, "link capacity C (must match the server when -addr is set)")
+	utilName := fs.String("util", "adaptive", "utility function: rigid, adaptive")
+	mean := fs.Float64("mean", 100, "offered load k̄ (arrival rate is k̄/hold)")
+	hold := fs.Float64("hold", 1, "mean flow holding time, virtual time units")
+	duration := fs.Float64("duration", 80, "measured horizon, virtual time units")
+	warmup := fs.Float64("warmup", 0, "excluded warmup prefix (0 = 5·hold)")
+	conns := fs.Int("conns", 4, "client connections")
+	seed := fs.Uint64("seed", 1, "random seed (fixed seed ⇒ identical statistics)")
+	dropEvery := fs.Int("drop-every", 0, "drop a connection at every n-th reserved departure (0 = off)")
+	retries := fs.Int("retries", 0, "extra attempts per denied arrival via the retry path")
+	probeTTL := fs.Duration("probe-ttl", 0, "also probe soft state against a TTL server (0 = skip)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var util utility.Function
+	switch *utilName {
+	case "rigid":
+		r, err := utility.NewRigid(1)
+		if err != nil {
+			return err
+		}
+		util = r
+	case "adaptive":
+		util = utility.NewAdaptive()
+	default:
+		return fmt.Errorf("unknown utility %q (the load harness needs admission control; elastic has none)", *utilName)
+	}
+	if !(*hold > 0) || !(*mean > 0) {
+		return fmt.Errorf("need positive -mean and -hold")
+	}
+
+	cfg := loadgen.Config{
+		Capacity:  *capacity,
+		Util:      util,
+		Conns:     *conns,
+		Rate:      *mean / *hold,
+		Hold:      *hold,
+		Duration:  *duration,
+		Warmup:    *warmup,
+		Seed1:     *seed,
+		Seed2:     *seed ^ 0x9e3779b97f4a7c15,
+		DropEvery: *dropEvery,
+	}
+	if *retries > 0 {
+		cfg.RetryAttempts = *retries + 1
+	}
+	target := "in-process server"
+	if *addr != "" {
+		cfg.Addr = *addr
+		target = "server at " + *addr
+	} else {
+		srv, err := resv.NewServer(*capacity, util)
+		if err != nil {
+			return err
+		}
+		cfg.Server = srv
+	}
+	fmt.Printf("beqos: load harness vs %s (capacity %g, util %s, k̄ %g, %d conns, seed %d)\n",
+		target, *capacity, util.Name(), *mean, cfg.Conns, *seed)
+
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("flows %d  attempts %d  denied %d  grants %d  teardowns %d  retries %d  drops %d  reissued %d  peak load %d\n\n",
+		res.Flows, res.Attempts, res.Denied, res.Grants, res.Teardowns, res.Retries, res.Drops, res.Reissued, res.PeakLoad)
+
+	load, err := dist.NewPoisson(*mean)
+	if err != nil {
+		return err
+	}
+	m, err := core.New(load, util)
+	if err != nil {
+		return err
+	}
+	cr, err := loadgen.CrossCheck(res, m, *capacity)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("statistic", "measured", "model", "sigma", "z", "ok")
+	for _, ck := range cr.Checks {
+		ok := "yes"
+		if !ck.OK {
+			ok = "NO"
+		}
+		tb.AddRow(ck.Name, ck.Measured, ck.Predicted, ck.Sigma, ck.Z, ok)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	lat := res.Latency
+	fmt.Printf("\nlatency: %d rpcs  p50 %v  p95 %v  p99 %v  max %v  (wall %v)\n",
+		lat.Count(), latDur(lat.Quantile(0.5)), latDur(lat.Quantile(0.95)),
+		latDur(lat.Quantile(0.99)), latDur(lat.Max()), res.Elapsed.Round(time.Millisecond))
+
+	if *probeTTL > 0 {
+		pcfg := loadgen.ProbeConfig{Addr: *addr}
+		if *addr == "" {
+			psrv, err := resv.NewServerTTL(*capacity, util, *probeTTL)
+			if err != nil {
+				return err
+			}
+			defer psrv.Close()
+			pcfg.Server = psrv
+		}
+		pr, err := loadgen.ProbeSoftState(pcfg)
+		if err != nil {
+			return err
+		}
+		status := "OK"
+		if !pr.OK() {
+			status = "FAILED"
+		}
+		fmt.Printf("soft-state probe: ttl %v  kept %d/%d  expired %d/%d  retry granted %v after %d retries  %s\n",
+			pr.TTL, pr.Kept, pr.Keepers, pr.Expired, pr.Stalled, pr.RetryGranted, pr.Retries, status)
+		if !pr.OK() {
+			return fmt.Errorf("soft-state probe failed: %+v", pr)
+		}
+	}
+	if !cr.AllOK() {
+		return fmt.Errorf("cross-validation failed: %v", cr.Failed())
+	}
+	fmt.Println("\ncross-validation: all checks within 3σ of the analytical model")
+	return nil
+}
+
+// latDur renders a latency histogram value (seconds) as a duration.
+func latDur(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond)
+}

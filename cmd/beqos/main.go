@@ -11,6 +11,7 @@
 //	beqos sim     -capacity 120 -rate 10 -hold 10 -reserve
 //	beqos serve   -addr :4742 -capacity 8
 //	beqos reserve -addr localhost:4742 -flows 12
+//	beqos load    -capacity 100 -util adaptive -mean 100 -probe-ttl 250ms
 //
 // Every subcommand prints -h help. Loads: poisson, exponential, algebraic
 // (with -z). Utilities: rigid, adaptive, elastic.
@@ -48,6 +49,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "reserve":
 		err = cmdReserve(os.Args[2:])
+	case "load":
+		err = cmdLoad(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -76,6 +79,8 @@ Commands:
   sim       run the flow-level simulator on one link
   serve     run a reservation admission-control server
   reserve   request reservations from a running server
+  load      drive an admission server with Poisson load and cross-validate
+            the measured blocking and utility against the analytical model
 
 Run 'beqos <command> -h' for flags.
 `)

@@ -97,6 +97,56 @@ func TestCmdReserveConnectError(t *testing.T) {
 	}
 }
 
+func TestCmdLoad(t *testing.T) {
+	// A small in-process acceptance run with fault injection, the retry
+	// path, and the soft-state probe. cmdLoad returns an error when any
+	// cross-validation check falls outside 3σ, so a nil error IS the
+	// assertion.
+	err := cmdLoad([]string{
+		"-capacity", "10", "-util", "adaptive", "-mean", "10", "-hold", "0.5",
+		"-duration", "30", "-conns", "2", "-seed", "3",
+		"-drop-every", "9", "-retries", "2", "-probe-ttl", "150ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLoad([]string{"-util", "elastic"}); err == nil {
+		t.Error("elastic utility should fail (no admission threshold)")
+	}
+	if err := cmdLoad([]string{"-mean", "0"}); err == nil {
+		t.Error("zero mean should fail")
+	}
+	if err := cmdLoad([]string{"-capacity", "-5"}); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestCmdLoadOverTCP(t *testing.T) {
+	// The harness must also work against a server across a real socket,
+	// the way `beqos serve` + `beqos load -addr` compose.
+	srv, err := beqos.NewAdmissionServer(10, beqos.AdaptiveUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.Serve(ln) }()
+	err = cmdLoad([]string{
+		"-addr", ln.Addr().String(),
+		"-capacity", "10", "-util", "adaptive", "-mean", "10", "-hold", "0.5",
+		"-duration", "30", "-seed", "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Active() != 0 {
+		t.Errorf("server still holds %d reservations after the harness", srv.Active())
+	}
+}
+
 func TestCmdGamma(t *testing.T) {
 	if err := cmdGamma([]string{"-load", "poisson", "-pmin", "0.05", "-pmax", "0.3", "-points", "2"}); err != nil {
 		t.Fatal(err)

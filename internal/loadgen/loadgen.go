@@ -1,0 +1,693 @@
+// Package loadgen is a concurrent load harness for the resv admission
+// plane: it drives a resv.Server with open-loop Poisson flow arrivals and
+// exponential holding times (the dynamics whose stationary occupancy is the
+// paper's Poisson load), exercises the full protocol surface — reserve,
+// teardown, refresh/keep-alive under TTL, retry backoff, connection drops,
+// stalled clients — and measures blocking, occupancy, per-flow utility and
+// request latency. CrossCheck then compares the measurements against the
+// analytical model's P(k > kmax) and R(C): a live, end-to-end oracle for
+// the admission server.
+//
+// Flow dynamics run in deterministic virtual time (a discrete-event clock
+// shared with internal/sim), while every reservation decision is a real
+// protocol round trip against the server under test, over net.Pipe for an
+// in-process target or any net.Conn transport for a remote one. Flows
+// denied a reservation stay in the offered population for their holding
+// time and re-request as capacity frees (the paper's reservation-capable
+// network still carries them best-effort), so the offered population is an
+// unconstrained M/M/∞ process with Poisson occupancy — exactly the load
+// distribution the analytical model postulates.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"time"
+
+	"beqos/internal/report"
+	"beqos/internal/resv"
+	"beqos/internal/rng"
+	"beqos/internal/sim"
+	"beqos/internal/utility"
+)
+
+// rpcTimeout bounds any single protocol round trip.
+const rpcTimeout = 10 * time.Second
+
+// batches is the number of equal time slices used for batch-means standard
+// errors. Batch means absorb the serial correlation of occupancy samples
+// (correlation time ≈ one holding time) that a naive binomial sigma would
+// ignore.
+const batches = 16
+
+// Config describes one load-harness run.
+type Config struct {
+	// Server is an in-process target, reached over net.Pipe. When nil,
+	// Network/Addr name a remote server instead.
+	Server  *resv.Server
+	Network string
+	Addr    string
+
+	// Capacity and Util describe the link under test; they must match the
+	// server's configuration for the cross-validation to be meaningful.
+	Capacity float64
+	Util     utility.Function
+
+	// Conns is the number of client connections; flows are assigned
+	// round-robin across them (default 4).
+	Conns int
+
+	// Rate is the flow arrival rate λ and Hold the mean holding time, both
+	// in virtual time units; the offered load is k̄ = λ·Hold.
+	Rate float64
+	Hold float64
+
+	// Duration is the measured horizon and Warmup the excluded prefix
+	// (default 5·Hold), in virtual time units. The run also pre-fills the
+	// link with round(k̄) flows at time zero so warmup starts near
+	// stationarity.
+	Duration float64
+	Warmup   float64
+
+	// Seed1, Seed2 seed the deterministic random source. Identical
+	// configurations produce identical measurements.
+	Seed1, Seed2 uint64
+
+	// DropEvery > 0 injects a fault at every n-th reserved-flow departure:
+	// the departing flow's connection is closed mid-flight instead of
+	// sending a teardown, the server's connection-scoped release is awaited,
+	// and the surviving flows re-establish their reservations over a fresh
+	// connection.
+	DropEvery int
+
+	// RetryAttempts > 1 drives each arrival through ReserveWithRetry with
+	// that many attempts (immediate, zero-backoff retries — the slot state
+	// cannot change between synchronous attempts, so this exercises the
+	// retry path without perturbing the measurements).
+	RetryAttempts int
+}
+
+func (cfg *Config) withDefaults() (Config, error) {
+	c := *cfg
+	if c.Server == nil && c.Addr == "" {
+		return c, fmt.Errorf("loadgen: need an in-process Server or a remote Addr")
+	}
+	if c.Server != nil && c.Addr != "" {
+		return c, fmt.Errorf("loadgen: Server and Addr are mutually exclusive")
+	}
+	if !(c.Capacity > 0) {
+		return c, fmt.Errorf("loadgen: capacity must be positive, got %g", c.Capacity)
+	}
+	if c.Util == nil {
+		return c, fmt.Errorf("loadgen: utility must be non-nil")
+	}
+	if !(c.Rate > 0) || !(c.Hold > 0) {
+		return c, fmt.Errorf("loadgen: need positive rate and holding time, got (%g, %g)", c.Rate, c.Hold)
+	}
+	if !(c.Duration > 0) {
+		return c, fmt.Errorf("loadgen: duration must be positive, got %g", c.Duration)
+	}
+	if c.Warmup < 0 {
+		return c, fmt.Errorf("loadgen: warmup must be nonnegative, got %g", c.Warmup)
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5 * c.Hold
+	}
+	if c.Conns == 0 {
+		c.Conns = 4
+	}
+	if c.Conns < 1 {
+		return c, fmt.Errorf("loadgen: need at least one connection, got %d", c.Conns)
+	}
+	if c.DropEvery < 0 || c.RetryAttempts < 0 {
+		return c, fmt.Errorf("loadgen: DropEvery and RetryAttempts must be nonnegative")
+	}
+	return c, nil
+}
+
+// Result reports one run's measurements. All statistics are deterministic
+// for a fixed seed; only Latency and Elapsed depend on wall-clock behavior.
+type Result struct {
+	// KMax is the server-reported admission threshold.
+	KMax int
+	// Flows counts arrivals inside the measurement window (each issues
+	// exactly one first attempt); FirstDenied counts their denials.
+	// DenyRate = FirstDenied/Flows estimates the probability an arriving
+	// flow finds the link full, P(k ≥ kmax) under Poisson load.
+	Flows       int
+	FirstDenied int
+	DenyRate    float64
+	// Attempts and Denied count every reservation request over the whole
+	// run, including warmup, re-requests when capacity frees, retries, and
+	// post-drop re-establishment.
+	Attempts  int
+	Denied    int
+	Grants    int
+	Teardowns int
+	Retries   int
+	// Drops, Reconnects and Reissued count injected connection faults and
+	// the reservations re-established afterwards.
+	Drops      int
+	Reconnects int
+	Reissued   int
+	// Anomalies counts protocol responses that contradict the harness's
+	// book-keeping: a denial with free capacity, a grant beyond kmax, or a
+	// grant share that is not C/kmax. Zero on a correct server.
+	Anomalies int
+
+	// OverloadFraction is the time-weighted fraction of the measurement
+	// window with offered population k > kmax — the direct estimator of the
+	// paper's blocking probability P(k > kmax).
+	OverloadFraction float64
+	// MeanUtility is the measured per-flow utility: admitted flows score
+	// π(C/n) at the instantaneous reserved count n, unreserved flows score
+	// zero — the estimator of the paper's R(C).
+	MeanUtility float64
+	// MeasuredMeanLoad is the time-averaged offered population (→ k̄).
+	MeasuredMeanLoad float64
+	PeakLoad         int
+
+	// Batch-means standard errors for the ratio statistics above.
+	OverloadSigma float64
+	DenySigma     float64
+	UtilitySigma  float64
+	LoadSigma     float64
+
+	// OccupancyWeights is the time-weighted offered-population histogram
+	// (index k = time spent with k flows present), ready for EmpiricalLoad.
+	OccupancyWeights []float64
+
+	// Latency collects wall-clock protocol round-trip times in seconds.
+	Latency *report.Histogram
+
+	// FinalActive is the server's reservation count after cleanup (0 on a
+	// correct server: every grant was matched by a teardown or release).
+	FinalActive int
+	Elapsed     time.Duration
+}
+
+// flow is one offered flow's harness-side state.
+type flow struct {
+	id       uint64
+	conn     int
+	present  bool
+	reserved bool
+}
+
+// endpoint is one client connection and the reservations living on it.
+type endpoint struct {
+	client   *resv.Client
+	reserved map[uint64]*flow
+}
+
+type runner struct {
+	cfg   Config
+	eng   *sim.Engine
+	src   *rng.Source
+	eps   []*endpoint
+	share float64 // expected grant share C/kmax
+
+	kmax     int
+	nextID   uint64
+	rrNext   int
+	pop      int
+	nres     int
+	waiting  []*flow
+	dropTick int
+
+	// piTimes[n] = n·π(C/n) for n in [0, kmax], the total-utility table.
+	piTimes []float64
+
+	// Per-batch accumulators over the measurement window.
+	last     float64
+	time     []float64
+	overload []float64
+	popInt   []float64
+	utilInt  []float64
+	firstAtt []float64
+	firstDen []float64
+	occ      []float64
+	peak     int
+
+	res Result
+	err error // first RPC/transport failure; aborts the run
+}
+
+// Run executes one load-harness run and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r := &runner{
+		cfg:      c,
+		eng:      sim.NewEngine(),
+		src:      rng.New(c.Seed1, c.Seed2),
+		time:     make([]float64, batches),
+		overload: make([]float64, batches),
+		popInt:   make([]float64, batches),
+		utilInt:  make([]float64, batches),
+		firstAtt: make([]float64, batches),
+		firstDen: make([]float64, batches),
+	}
+	r.res.Latency = report.NewLatencyHistogram()
+	for i := 0; i < c.Conns; i++ {
+		ep, err := r.connect()
+		if err != nil {
+			return nil, err
+		}
+		r.eps = append(r.eps, ep)
+	}
+	defer func() {
+		for _, ep := range r.eps {
+			_ = ep.client.Close()
+		}
+	}()
+	kmax, active, err := r.stats()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: initial stats: %w", err)
+	}
+	if kmax < 1 {
+		return nil, fmt.Errorf("loadgen: server reports kmax = %d", kmax)
+	}
+	if active != 0 {
+		return nil, fmt.Errorf("loadgen: server already holds %d reservations; the harness needs exclusive use", active)
+	}
+	r.kmax = kmax
+	r.res.KMax = kmax
+	r.share = c.Capacity / float64(kmax)
+	r.piTimes = make([]float64, kmax+1)
+	for n := 1; n <= kmax; n++ {
+		r.piTimes[n] = float64(n) * c.Util.Eval(c.Capacity/float64(n))
+	}
+
+	arr, err := sim.NewPoissonArrivals(c.Rate)
+	if err != nil {
+		return nil, err
+	}
+	hold, err := sim.NewExpHolding(c.Hold)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-fill the link with round(k̄) flows so warmup starts near the
+	// stationary regime (exponential holding is memoryless, so a fresh
+	// holding time is the correct stationary residual).
+	for i := 0; i < int(c.Rate*c.Hold+0.5); i++ {
+		r.arrive(hold)
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	var pump func()
+	pump = func() {
+		wait, batch := arr.Next(r.src)
+		r.eng.Schedule(wait, func() {
+			if r.err != nil {
+				return
+			}
+			for i := 0; i < batch; i++ {
+				r.arrive(hold)
+			}
+			pump()
+		})
+	}
+	pump()
+	horizon := c.Warmup + c.Duration
+	r.eng.Run(horizon)
+	if r.err != nil {
+		return nil, r.err
+	}
+	r.advance(horizon)
+
+	// Clean teardown of everything still reserved, then confirm the server
+	// agrees the link is empty.
+	for _, ep := range r.eps {
+		ids := make([]uint64, 0, len(ep.reserved))
+		for id := range ep.reserved {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if err := r.teardown(ep.reserved[id]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, active, err := r.stats(); err == nil {
+		r.res.FinalActive = active
+	} else {
+		return nil, fmt.Errorf("loadgen: final stats: %w", err)
+	}
+
+	r.finish()
+	r.res.Elapsed = time.Since(start)
+	return &r.res, nil
+}
+
+// dial opens one connection to the target: net.Pipe into an in-process
+// server, or a network dial.
+func dial(server *resv.Server, network, addr string) (*resv.Client, error) {
+	if server != nil {
+		cEnd, sEnd := net.Pipe()
+		go server.HandleConn(sEnd)
+		return resv.NewClient(cEnd), nil
+	}
+	if network == "" {
+		network = "tcp"
+	}
+	ctx, cancel := rpcCtx()
+	defer cancel()
+	return resv.Dial(ctx, network, addr)
+}
+
+// connect opens one harness endpoint.
+func (r *runner) connect() (*endpoint, error) {
+	c, err := dial(r.cfg.Server, r.cfg.Network, r.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &endpoint{client: c, reserved: make(map[uint64]*flow)}, nil
+}
+
+func rpcCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), rpcTimeout)
+}
+
+// stats fetches (kmax, active) over any live connection.
+func (r *runner) stats() (int, int, error) {
+	ctx, cancel := rpcCtx()
+	defer cancel()
+	t0 := time.Now()
+	kmax, active, err := r.eps[0].client.Stats(ctx)
+	r.res.Latency.Record(time.Since(t0).Seconds())
+	return kmax, active, err
+}
+
+// inWindow reports whether the current instant is measured, and its batch.
+func (r *runner) inWindow() (int, bool) {
+	now := r.eng.Now()
+	if now < r.cfg.Warmup || now >= r.cfg.Warmup+r.cfg.Duration {
+		return 0, false
+	}
+	b := int((now - r.cfg.Warmup) / (r.cfg.Duration / batches))
+	if b >= batches {
+		b = batches - 1
+	}
+	return b, true
+}
+
+// advance integrates the piecewise-constant state up to virtual time `to`,
+// splitting across batch boundaries.
+func (r *runner) advance(to float64) {
+	from := r.last
+	r.last = to
+	w, d := r.cfg.Warmup, r.cfg.Duration
+	lo := math.Max(from, w)
+	hi := math.Min(to, w+d)
+	if hi <= lo {
+		return
+	}
+	bd := d / batches
+	for lo < hi {
+		b := int((lo - w) / bd)
+		if b >= batches {
+			b = batches - 1
+		}
+		end := math.Min(w+float64(b+1)*bd, hi)
+		dt := end - lo
+		r.time[b] += dt
+		r.popInt[b] += dt * float64(r.pop)
+		if r.pop > r.kmax {
+			r.overload[b] += dt
+		}
+		r.utilInt[b] += dt * r.piTimes[r.nres]
+		for len(r.occ) <= r.pop {
+			r.occ = append(r.occ, 0)
+		}
+		r.occ[r.pop] += dt
+		lo = end
+	}
+}
+
+// arrive handles one flow arrival: it joins the offered population, issues
+// its first reservation attempt, and schedules its departure.
+func (r *runner) arrive(hold sim.Holding) {
+	if r.err != nil {
+		return
+	}
+	r.advance(r.eng.Now())
+	r.nextID++
+	f := &flow{id: r.nextID, conn: r.rrNext, present: true}
+	r.rrNext = (r.rrNext + 1) % len(r.eps)
+	r.pop++
+	if r.pop > r.peak {
+		r.peak = r.pop
+	}
+	b, counted := r.inWindow()
+	if counted {
+		r.res.Flows++
+		r.firstAtt[b]++
+	}
+	granted := r.request(f)
+	if r.err != nil {
+		return
+	}
+	if !granted {
+		if counted {
+			r.res.FirstDenied++
+			r.firstDen[b]++
+		}
+		r.waiting = append(r.waiting, f)
+	}
+	r.eng.Schedule(hold.Sample(r.src), func() { r.depart(f) })
+}
+
+// request issues one reservation attempt (or a retry burst) for f and
+// updates the harness's book-keeping from the server's answer.
+func (r *runner) request(f *flow) bool {
+	ep := r.eps[f.conn]
+	ctx, cancel := rpcCtx()
+	defer cancel()
+	var ok bool
+	var share float64
+	var err error
+	t0 := time.Now()
+	if r.cfg.RetryAttempts > 1 {
+		var retries int
+		ok, share, retries, err = ep.client.ReserveWithRetry(ctx, f.id, 1, resv.RetryPolicy{
+			MaxAttempts: r.cfg.RetryAttempts,
+			Multiplier:  1,
+		})
+		r.res.Retries += retries
+		r.res.Attempts += retries + 1
+		r.res.Denied += retries
+		if !ok {
+			r.res.Denied++
+		}
+	} else {
+		ok, share, err = ep.client.Reserve(ctx, f.id, 1)
+		r.res.Attempts++
+		if !ok && err == nil {
+			r.res.Denied++
+		}
+	}
+	r.res.Latency.Record(time.Since(t0).Seconds())
+	if err != nil {
+		r.err = fmt.Errorf("loadgen: reserve flow %d: %w", f.id, err)
+		return false
+	}
+	if ok {
+		r.res.Grants++
+		if r.nres >= r.kmax {
+			r.res.Anomalies++ // grant beyond the admission threshold
+		}
+		if math.Abs(share-r.share) > 1e-9 {
+			r.res.Anomalies++ // share must be the worst-case C/kmax
+		}
+		f.reserved = true
+		r.nres++
+		ep.reserved[f.id] = f
+	} else if r.nres < r.kmax {
+		r.res.Anomalies++ // denial with free capacity
+	}
+	return ok
+}
+
+// teardown releases f's reservation.
+func (r *runner) teardown(f *flow) error {
+	ep := r.eps[f.conn]
+	ctx, cancel := rpcCtx()
+	defer cancel()
+	t0 := time.Now()
+	err := ep.client.Teardown(ctx, f.id)
+	r.res.Latency.Record(time.Since(t0).Seconds())
+	if err != nil {
+		return fmt.Errorf("loadgen: teardown flow %d: %w", f.id, err)
+	}
+	r.res.Teardowns++
+	f.reserved = false
+	r.nres--
+	delete(ep.reserved, f.id)
+	return nil
+}
+
+// depart handles one flow leaving the offered population.
+func (r *runner) depart(f *flow) {
+	if r.err != nil {
+		return
+	}
+	r.advance(r.eng.Now())
+	r.pop--
+	f.present = false
+	if !f.reserved {
+		return // was waiting; lazily skipped at promotion
+	}
+	if r.cfg.DropEvery > 0 {
+		r.dropTick++
+		if r.dropTick%r.cfg.DropEvery == 0 {
+			r.dropConn(f)
+			r.promote()
+			return
+		}
+	}
+	if err := r.teardown(f); err != nil {
+		r.err = err
+		return
+	}
+	r.promote()
+}
+
+// promote hands freed capacity to waiting flows, oldest first.
+func (r *runner) promote() {
+	for r.err == nil && r.nres < r.kmax {
+		var f *flow
+		for len(r.waiting) > 0 {
+			head := r.waiting[0]
+			r.waiting = r.waiting[1:]
+			if head.present && !head.reserved {
+				f = head
+				break
+			}
+		}
+		if f == nil {
+			return
+		}
+		if !r.request(f) {
+			if r.err == nil {
+				// Unexpected denial (already counted as an anomaly): put
+				// the flow back and stop promoting this round.
+				r.waiting = append([]*flow{f}, r.waiting...)
+			}
+			return
+		}
+	}
+}
+
+// dropConn injects a connection fault: the departing flow's connection is
+// closed with reservations live, the server's connection-scoped release is
+// awaited, and surviving flows re-reserve over a replacement connection.
+// All of it happens at one virtual instant, so the fault exercises the
+// protocol without perturbing the time-weighted statistics.
+func (r *runner) dropConn(departing *flow) {
+	ci := departing.conn
+	ep := r.eps[ci]
+	affected := len(ep.reserved) // includes the departing flow
+	survivors := make([]*flow, 0, affected)
+	for _, f := range ep.reserved {
+		f.reserved = false
+		if f.present {
+			survivors = append(survivors, f)
+		}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].id < survivors[j].id })
+	r.nres -= affected
+	expect := r.nres
+	_ = ep.client.Close()
+	r.res.Drops++
+
+	fresh, err := r.connect()
+	if err != nil {
+		r.err = fmt.Errorf("loadgen: reconnect after drop: %w", err)
+		return
+	}
+	r.eps[ci] = fresh
+	r.res.Reconnects++
+
+	// Wait for the server to process the connection-scoped release before
+	// re-reserving — otherwise the re-requests race the release and can be
+	// spuriously denied.
+	deadline := time.Now().Add(rpcTimeout)
+	for {
+		_, active, err := r.stats()
+		if err != nil {
+			r.err = fmt.Errorf("loadgen: stats after drop: %w", err)
+			return
+		}
+		if active == expect {
+			break
+		}
+		if time.Now().After(deadline) {
+			r.err = fmt.Errorf("loadgen: server holds %d reservations %v after drop, want %d", active, rpcTimeout, expect)
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	for _, f := range survivors {
+		if !r.request(f) {
+			if r.err != nil {
+				return
+			}
+			r.waiting = append(r.waiting, f) // anomaly already counted
+			continue
+		}
+		r.res.Reissued++
+	}
+}
+
+// ratio folds per-batch numerators/denominators into an overall ratio and
+// its batch-means standard error.
+func ratio(num, den []float64) (v, sigma float64) {
+	var sn, sd float64
+	var vals []float64
+	for b := range num {
+		sn += num[b]
+		sd += den[b]
+		if den[b] > 0 {
+			vals = append(vals, num[b]/den[b])
+		}
+	}
+	if sd == 0 {
+		return 0, 0
+	}
+	v = sn / sd
+	n := len(vals)
+	if n < 2 {
+		return v, 0
+	}
+	var mean float64
+	for _, x := range vals {
+		mean += x
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, x := range vals {
+		ss += (x - mean) * (x - mean)
+	}
+	sigma = math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+	return v, sigma
+}
+
+// finish derives the summary statistics from the batch accumulators.
+func (r *runner) finish() {
+	r.res.OverloadFraction, r.res.OverloadSigma = ratio(r.overload, r.time)
+	r.res.DenyRate, r.res.DenySigma = ratio(r.firstDen, r.firstAtt)
+	r.res.MeanUtility, r.res.UtilitySigma = ratio(r.utilInt, r.popInt)
+	r.res.MeasuredMeanLoad, r.res.LoadSigma = ratio(r.popInt, r.time)
+	r.res.PeakLoad = r.peak
+	r.res.OccupancyWeights = append([]float64(nil), r.occ...)
+}

@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+
+	"beqos/internal/core"
+)
+
+// SigmaBound is the acceptance threshold for the cross-validation checks:
+// a measurement passes when it lies within SigmaBound batch-means standard
+// errors of the analytical prediction.
+const SigmaBound = 3.0
+
+// Check is one measured-versus-model comparison.
+type Check struct {
+	// Name identifies the statistic.
+	Name string
+	// Measured is the harness's estimate and Predicted the analytical value.
+	Measured  float64
+	Predicted float64
+	// Sigma is the measurement's batch-means standard error (0 for exact
+	// checks, which pass only on equality).
+	Sigma float64
+	// Z is |Measured − Predicted| / Sigma (+Inf for a failed exact check).
+	Z float64
+	// OK reports whether the check passed (Z ≤ SigmaBound).
+	OK bool
+}
+
+// CheckReport is the outcome of CrossCheck.
+type CheckReport struct {
+	Checks []Check
+}
+
+// AllOK reports whether every check passed.
+func (cr *CheckReport) AllOK() bool {
+	for _, c := range cr.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed returns the names of failed checks.
+func (cr *CheckReport) Failed() []string {
+	var out []string
+	for _, c := range cr.Checks {
+		if !c.OK {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+func check(name string, measured, predicted, sigma float64) Check {
+	c := Check{Name: name, Measured: measured, Predicted: predicted, Sigma: sigma}
+	diff := math.Abs(measured - predicted)
+	switch {
+	case diff == 0:
+		c.Z, c.OK = 0, true
+	case sigma > 0:
+		c.Z = diff / sigma
+		c.OK = c.Z <= SigmaBound
+	default:
+		c.Z, c.OK = math.Inf(1), false
+	}
+	return c
+}
+
+func exact(name string, measured, predicted float64) Check {
+	return check(name, measured, predicted, 0)
+}
+
+// CrossCheck compares a run's measurements against the analytical model at
+// capacity c. The load side of m must describe the harness's offered
+// population — for Poisson arrivals at rate λ with mean holding h, a
+// Poisson load with mean k̄ = λ·h — and the utility side must match the
+// server's. It validates:
+//
+//   - the admission threshold against kmax(C) (exact);
+//   - the time-weighted overload fraction against the paper's blocking
+//     probability P(k > kmax);
+//   - the arriving-flow denial rate against P(k ≥ kmax) (PASTA: an arrival
+//     finds the link full exactly when the standing population is ≥ kmax);
+//   - the measured per-flow utility against the reservation performance
+//     R(C) = E[min(k, kmax)·π(C/min(k, kmax))] / k̄;
+//   - the time-averaged offered population against k̄;
+//   - protocol hygiene: zero anomalies and zero residual reservations
+//     (exact).
+func CrossCheck(res *Result, m *core.Model, c float64) (*CheckReport, error) {
+	if res == nil || m == nil {
+		return nil, fmt.Errorf("loadgen: CrossCheck needs a result and a model")
+	}
+	if res.KMax < 1 {
+		return nil, fmt.Errorf("loadgen: result has kmax = %d", res.KMax)
+	}
+	load := m.Load()
+	cr := &CheckReport{}
+	cr.Checks = append(cr.Checks,
+		exact("admission threshold kmax", float64(res.KMax), float64(m.KMax(c))),
+		check("blocking P(k > kmax)", res.OverloadFraction, load.TailProb(res.KMax), res.OverloadSigma),
+		check("arrival denial P(k ≥ kmax)", res.DenyRate, load.TailProb(res.KMax-1), res.DenySigma),
+		check("mean utility R(C)", res.MeanUtility, m.Reservation(c), res.UtilitySigma),
+		check("offered load k̄", res.MeasuredMeanLoad, m.MeanLoad(), res.LoadSigma),
+		exact("protocol anomalies", float64(res.Anomalies), 0),
+		exact("residual reservations", float64(res.FinalActive), 0),
+	)
+	return cr, nil
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a small streaming histogram with geometrically spaced
+// buckets, built for request-latency percentiles: constant memory, O(1)
+// Record, and quantile queries with bounded relative error (one bucket
+// width, ~7% at the default growth factor). Values are unit-agnostic;
+// callers pick seconds, nanoseconds, or anything else positive.
+//
+// The zero value is not usable; construct with NewHistogram. Histogram is
+// not safe for concurrent use.
+type Histogram struct {
+	min     float64  // lower bound of bucket 0
+	logMin  float64  // log(min), cached for bucket indexing
+	logG    float64  // log(growth)
+	buckets []uint64 // counts per geometric bucket
+	under   uint64   // values below min (recorded, reported as ≤ min)
+	count   uint64   // total recorded values
+	sum     float64  // Σ values, for Mean
+	maxSeen float64  // largest recorded value
+}
+
+// NewHistogram returns a histogram covering [min, max] with buckets whose
+// widths grow by the given factor (> 1). Values below min clamp into an
+// underflow bucket; values above max land in the last bucket.
+func NewHistogram(min, max, growth float64) (*Histogram, error) {
+	if !(min > 0) || !(max > min) {
+		return nil, fmt.Errorf("report: histogram needs 0 < min < max, got [%g, %g]", min, max)
+	}
+	if !(growth > 1) {
+		return nil, fmt.Errorf("report: histogram growth must exceed 1, got %g", growth)
+	}
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
+	return &Histogram{
+		min:     min,
+		logMin:  math.Log(min),
+		logG:    math.Log(growth),
+		buckets: make([]uint64, n),
+	}, nil
+}
+
+// NewLatencyHistogram returns a histogram tuned for wall-clock request
+// latencies in seconds: 100ns to 100s with ~7% quantile resolution.
+func NewLatencyHistogram() *Histogram {
+	h, err := NewHistogram(100e-9, 100, 1.07)
+	if err != nil {
+		panic("report: latency histogram construction cannot fail: " + err.Error())
+	}
+	return h
+}
+
+// Record adds one value. Nonpositive and NaN values clamp into the
+// underflow bucket so counts stay consistent.
+func (h *Histogram) Record(v float64) {
+	h.count++
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v > 0 && !math.IsNaN(v) {
+		h.sum += v
+	}
+	if !(v >= h.min) { // catches v < min and NaN
+		h.under++
+		return
+	}
+	i := int((math.Log(v) - h.logMin) / h.logG)
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean of the recorded values (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() float64 { return h.maxSeen }
+
+// Quantile returns an upper bound for the q-th quantile (q in [0, 1]) of
+// the recorded values: the upper edge of the bucket holding that rank,
+// clamped to the observed maximum. It returns 0 when the histogram is
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := h.under
+	if rank <= seen {
+		return math.Min(h.min, h.maxSeen)
+	}
+	for i, n := range h.buckets {
+		seen += n
+		if rank <= seen {
+			if i == len(h.buckets)-1 {
+				// Overflow bucket: its nominal upper edge understates
+				// clamped out-of-range values.
+				return h.maxSeen
+			}
+			upper := math.Exp(h.logMin + float64(i+1)*h.logG)
+			return math.Min(upper, h.maxSeen)
+		}
+	}
+	return h.maxSeen
+}
+
+// Merge folds other into h. The histograms must share a geometry (same
+// min/growth/bucket count), e.g. both from NewLatencyHistogram.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.min != other.min || h.logG != other.logG || len(h.buckets) != len(other.buckets) {
+		return fmt.Errorf("report: cannot merge histograms with different geometries")
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.under += other.under
+	h.count += other.count
+	h.sum += other.sum
+	if other.maxSeen > h.maxSeen {
+		h.maxSeen = other.maxSeen
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 2); err == nil {
+		t.Error("min = 0 should fail")
+	}
+	if _, err := NewHistogram(1, 1, 2); err == nil {
+		t.Error("max = min should fail")
+	}
+	if _, err := NewHistogram(1, 2, 1); err == nil {
+		t.Error("growth = 1 should fail")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram not all-zero: count=%d mean=%g max=%g p50=%g",
+			h.Count(), h.Mean(), h.Max(), h.Quantile(0.5))
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	// Uniform values in [1ms, 1s]: each quantile estimate must bracket the
+	// true quantile within one bucket's relative width.
+	h := NewLatencyHistogram()
+	r := rand.New(rand.NewPCG(1, 2))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		h.Record(0.001 + 0.999*r.Float64())
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		truth := 0.001 + 0.999*q
+		got := h.Quantile(q)
+		if got < truth*0.92 || got > truth*1.08 {
+			t.Errorf("q=%g: got %g, want within 8%% of %g", q, got, truth)
+		}
+	}
+	wantMean := 0.001 + 0.999/2
+	if got := h.Mean(); math.Abs(got-wantMean) > 0.01 {
+		t.Errorf("mean = %g, want ≈ %g", got, wantMean)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(-1)    // underflow
+	h.Record(0)     // underflow
+	h.Record(1e-12) // below min
+	h.Record(1e6)   // above max: clamps into the last bucket
+	h.Record(math.NaN())
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Quantile(0.2); got > 100e-9 {
+		t.Errorf("low quantile = %g, want ≤ min", got)
+	}
+	if got := h.Quantile(1); got != 1e6 {
+		t.Errorf("p100 = %g, want the observed max 1e6", got)
+	}
+}
+
+func TestHistogramQuantileNeverExceedsMax(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(0.010)
+	h.Record(0.011)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got > h.Max() {
+			t.Errorf("q=%g: %g exceeds observed max %g", q, got, h.Max())
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(0.001)
+		b.Record(0.1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d, want 200", a.Count())
+	}
+	if got := a.Quantile(0.25); got > 0.0012 {
+		t.Errorf("p25 = %g, want ≈ 0.001", got)
+	}
+	if got := a.Quantile(0.75); got < 0.09 {
+		t.Errorf("p75 = %g, want ≈ 0.1", got)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Error("merging nil should be a no-op")
+	}
+	other, err := NewHistogram(1, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Error("mismatched geometries should fail to merge")
+	}
+}

@@ -37,8 +37,10 @@ func NewClient(nc net.Conn) *Client {
 func (c *Client) Close() error { return c.nc.Close() }
 
 // roundTrip sends one frame and reads one reply, honoring the context
-// deadline.
-func (c *Client) roundTrip(ctx context.Context, req Frame) (Frame, error) {
+// deadline. sent reports whether the request reached the wire: when it did
+// and err is non-nil, the server may have processed the request even though
+// no reply arrived.
+func (c *Client) roundTrip(ctx context.Context, req Frame) (reply Frame, sent bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	deadline, ok := ctx.Deadline()
@@ -46,44 +48,51 @@ func (c *Client) roundTrip(ctx context.Context, req Frame) (Frame, error) {
 		deadline = time.Time{}
 	}
 	if err := c.nc.SetDeadline(deadline); err != nil {
-		return Frame{}, fmt.Errorf("resv: set deadline: %w", err)
+		return Frame{}, false, fmt.Errorf("resv: set deadline: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
-		return Frame{}, err
+		return Frame{}, false, err
 	}
 	if err := WriteFrame(c.nc, req); err != nil {
-		return Frame{}, fmt.Errorf("resv: send %s: %w", req.Type, err)
+		return Frame{}, false, fmt.Errorf("resv: send %s: %w", req.Type, err)
 	}
-	reply, err := ReadFrame(c.nc)
+	reply, err = ReadFrame(c.nc)
 	if err != nil {
-		return Frame{}, fmt.Errorf("resv: awaiting reply to %s: %w", req.Type, err)
+		return Frame{}, true, fmt.Errorf("resv: awaiting reply to %s: %w", req.Type, err)
 	}
-	return reply, nil
+	return reply, true, nil
 }
 
 // Reserve requests a reservation for flowID with the given bandwidth
 // demand. It reports whether the reservation was granted, and the granted
 // share when it was.
 func (c *Client) Reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, err error) {
-	reply, err := c.roundTrip(ctx, Frame{Type: MsgRequest, FlowID: flowID, Value: bandwidth})
+	granted, share, _, err = c.reserve(ctx, flowID, bandwidth)
+	return granted, share, err
+}
+
+// reserve is Reserve plus a sent indicator: when the request hit the wire
+// but the reply was lost, the server may hold a grant the caller never saw.
+func (c *Client) reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, sent bool, err error) {
+	reply, sent, err := c.roundTrip(ctx, Frame{Type: MsgRequest, FlowID: flowID, Value: bandwidth})
 	if err != nil {
-		return false, 0, err
+		return false, 0, sent, err
 	}
 	switch reply.Type {
 	case MsgGrant:
-		return true, reply.Value, nil
+		return true, reply.Value, true, nil
 	case MsgDeny:
-		return false, 0, nil
+		return false, 0, true, nil
 	case MsgError:
-		return false, 0, fmt.Errorf("resv: reserve flow %d: server error code %d", flowID, uint64(reply.Value))
+		return false, 0, true, fmt.Errorf("resv: reserve flow %d: server error code %d", flowID, uint64(reply.Value))
 	default:
-		return false, 0, fmt.Errorf("resv: reserve flow %d: unexpected %s reply", flowID, reply.Type)
+		return false, 0, true, fmt.Errorf("resv: reserve flow %d: unexpected %s reply", flowID, reply.Type)
 	}
 }
 
 // Teardown releases flowID's reservation.
 func (c *Client) Teardown(ctx context.Context, flowID uint64) error {
-	reply, err := c.roundTrip(ctx, Frame{Type: MsgTeardown, FlowID: flowID})
+	reply, _, err := c.roundTrip(ctx, Frame{Type: MsgTeardown, FlowID: flowID})
 	if err != nil {
 		return err
 	}
@@ -100,7 +109,7 @@ func (c *Client) Teardown(ctx context.Context, flowID uint64) error {
 // Refresh renews flowID's soft-state deadline on a TTL server. It returns
 // the server's TTL (0 when the server never expires reservations).
 func (c *Client) Refresh(ctx context.Context, flowID uint64) (ttl time.Duration, err error) {
-	reply, err := c.roundTrip(ctx, Frame{Type: MsgRefresh, FlowID: flowID})
+	reply, _, err := c.roundTrip(ctx, Frame{Type: MsgRefresh, FlowID: flowID})
 	if err != nil {
 		return 0, err
 	}
@@ -116,11 +125,24 @@ func (c *Client) Refresh(ctx context.Context, flowID uint64) (ttl time.Duration,
 
 // KeepAlive refreshes flowID at the given interval until ctx is canceled
 // or a refresh fails (e.g. the reservation was torn down or already
-// expired). It blocks; run it in its own goroutine. The returned error is
-// nil on context cancellation.
+// expired). It refreshes once immediately on entry — a first refresh only
+// after a full interval could miss the reservation's first TTL deadline —
+// and rejects interval ≥ the server's TTL, which would guarantee expiry
+// between refreshes. It blocks; run it in its own goroutine. The returned
+// error is nil on context cancellation.
 func (c *Client) KeepAlive(ctx context.Context, flowID uint64, interval time.Duration) error {
 	if interval <= 0 {
 		return fmt.Errorf("resv: keep-alive interval must be positive, got %v", interval)
+	}
+	ttl, err := c.Refresh(ctx, flowID)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	if ttl > 0 && interval >= ttl {
+		return fmt.Errorf("resv: keep-alive interval %v must be shorter than the server TTL %v", interval, ttl)
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -142,7 +164,7 @@ func (c *Client) KeepAlive(ctx context.Context, flowID uint64, interval time.Dur
 // Stats returns the server's admission threshold and active reservation
 // count.
 func (c *Client) Stats(ctx context.Context) (kmax, active int, err error) {
-	reply, err := c.roundTrip(ctx, Frame{Type: MsgStats})
+	reply, _, err := c.roundTrip(ctx, Frame{Type: MsgStats})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -189,8 +211,15 @@ func (c *Client) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth 
 	}
 	delay := policy.BaseDelay
 	for attempt := 1; ; attempt++ {
-		ok, sh, err := c.Reserve(ctx, flowID, bandwidth)
+		ok, sh, sent, err := c.reserve(ctx, flowID, bandwidth)
 		if err != nil {
+			if sent {
+				// The request reached the wire but its reply did not come
+				// back (timeout, connection drop). The server may hold the
+				// grant while we report failure — release it rather than
+				// leak a reservation nobody will use or tear down.
+				c.teardownBestEffort(flowID)
+			}
 			return false, 0, attempt - 1, err
 		}
 		if ok {
@@ -210,5 +239,38 @@ func (c *Client) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth 
 		case <-time.After(d):
 		}
 		delay = time.Duration(float64(delay) * policy.Multiplier)
+	}
+}
+
+// bestEffortTeardownTimeout bounds how long a post-failure cleanup may
+// occupy the connection.
+const bestEffortTeardownTimeout = time.Second
+
+// teardownBestEffort tries to release flowID after a transport failure left
+// the reservation state unknown. The reply stream may still hold a stale
+// reply to the failed request, so it drains frames until the teardown's own
+// reply arrives (or the deadline passes). Errors are deliberately swallowed:
+// the connection is already suspect, and closing it remains the backstop
+// that releases everything.
+func (c *Client) teardownBestEffort(flowID uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.nc.SetDeadline(time.Now().Add(bestEffortTeardownTimeout)); err != nil {
+		return
+	}
+	if err := WriteFrame(c.nc, Frame{Type: MsgTeardown, FlowID: flowID}); err != nil {
+		return
+	}
+	for {
+		reply, err := ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		// Skip the failed request's late reply (a grant or denial for the
+		// same flow); stop at the teardown's MsgTeardownOK, or at MsgError
+		// if the request never took effect server-side.
+		if reply.FlowID == flowID && (reply.Type == MsgTeardownOK || reply.Type == MsgError) {
+			return
+		}
 	}
 }

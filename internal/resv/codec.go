@@ -26,7 +26,11 @@ const (
 	// MsgRequest asks for a reservation for FlowID; Value carries the
 	// requested bandwidth.
 	MsgRequest MsgType = iota + 1
-	// MsgGrant accepts a request; Value carries the granted share.
+	// MsgGrant accepts a request. In flow-count mode Value carries the
+	// guaranteed worst-case share C/kmax — NOT the instantaneous share
+	// C/min(k, kmax), which changes as flows arrive and depart and would
+	// be stale as soon as the frame hit the wire. In bandwidth mode Value
+	// is the granted rate (exactly the requested rate).
 	MsgGrant
 	// MsgDeny rejects a request; Value carries the current active count.
 	MsgDeny

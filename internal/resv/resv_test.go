@@ -62,19 +62,21 @@ func TestReserveGrantDeny(t *testing.T) {
 	c := pipeClient(t, s)
 	cx := ctx(t)
 
+	// Granted shares are the worst-case guarantee C/kmax = 1, regardless
+	// of how many flows are active at grant time.
 	ok, share, err := c.Reserve(cx, 1, 1)
 	if err != nil || !ok {
 		t.Fatalf("first reserve: ok=%v err=%v", ok, err)
 	}
-	if share != 2 {
-		t.Errorf("share = %v, want 2 (alone on the link)", share)
+	if share != 1 {
+		t.Errorf("share = %v, want C/kmax = 1", share)
 	}
 	ok, share, err = c.Reserve(cx, 2, 1)
 	if err != nil || !ok {
 		t.Fatalf("second reserve: ok=%v err=%v", ok, err)
 	}
 	if share != 1 {
-		t.Errorf("share = %v, want 1", share)
+		t.Errorf("share = %v, want C/kmax = 1", share)
 	}
 	ok, _, err = c.Reserve(cx, 3, 1)
 	if err != nil {
@@ -272,8 +274,8 @@ func TestOverTCP(t *testing.T) {
 	}
 	defer c.Close()
 	ok, share, err := c.Reserve(cx, 1, 1)
-	if err != nil || !ok || share != 10 {
-		t.Fatalf("tcp reserve: ok=%v share=%v err=%v", ok, share, err)
+	if err != nil || !ok || share != 1 {
+		t.Fatalf("tcp reserve: ok=%v share=%v (want C/kmax = 1) err=%v", ok, share, err)
 	}
 	if err := c.Teardown(cx, 1); err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package resv
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sync"
@@ -13,7 +14,7 @@ import (
 
 // Server is a single-link admission controller speaking the resv protocol.
 // Admission policy follows the paper: at most kmax(C) = argmax k·π(C/k)
-// concurrent reservations, each granted an even share C/active.
+// concurrent reservations, each guaranteed the worst-case share C/kmax.
 //
 // Reservations are soft state, in two senses mirroring RSVP:
 //   - scoped to their connection — a connection drop releases its flows;
@@ -138,7 +139,15 @@ func (s *Server) TTL() time.Duration { return s.ttl }
 
 // sweep periodically releases expired reservations.
 func (s *Server) sweep() {
-	tick := time.NewTicker(s.ttl / 4)
+	// A quarter TTL keeps expiry latency well under one TTL; the floor
+	// keeps time.NewTicker from panicking on sub-4ns TTLs (ttl/4 == 0)
+	// and stops pathological TTLs from turning the sweeper into a busy
+	// loop.
+	period := s.ttl / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
 	defer tick.Stop()
 	for {
 		select {
@@ -205,7 +214,10 @@ func (s *Server) handle(nc net.Conn) {
 	for {
 		f, err := ReadFrame(nc)
 		if err != nil {
-			if !errors.Is(err, net.ErrClosed) {
+			// io.EOF is an orderly close from the peer and net.ErrClosed a
+			// local shutdown — neither is an error. Anything else (including
+			// io.ErrUnexpectedEOF, a connection cut mid-frame) is logged.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.logf("resv: connection %v closed: %v", nc.RemoteAddr(), err)
 			}
 			return
@@ -267,7 +279,11 @@ func (s *Server) reserve(c *conn, f Frame) Frame {
 	if s.ttl > 0 {
 		s.expires[f.FlowID] = time.Now().Add(s.ttl)
 	}
-	share := s.capacity / float64(len(s.owners))
+	// The instantaneous share C/min(k, kmax) changes with every arrival and
+	// departure, so a snapshot C/active would be stale the moment another
+	// flow is admitted. Grant the guaranteed worst-case share C/kmax — the
+	// floor the flow keeps no matter how full the link gets.
+	share := s.capacity / float64(s.kmax)
 	s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, len(s.owners), share)
 	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: share}
 }
