@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench figures examples cover clean
+.PHONY: all build vet test race check bench bench-diff figures examples cover clean
+
+# Benchmarks the regression gate enforces (see bench-diff): the simulator
+# validation runs, the enforcement loop, and the SCFQ hot path.
+BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue
 
 all: build vet test
 
@@ -22,10 +26,17 @@ race:
 check: vet race
 	$(GO) test ./...
 
-# Run the benchmark suite and archive it as machine-readable JSON.
+# Run the benchmark suite and archive it as machine-readable JSON. Always
+# -benchmem, so every BENCH_core.json entry carries bytes/allocs.
 bench:
 	$(GO) test -bench=. -benchmem . | tee bench_output.txt | $(GO) run ./cmd/benchjson -o BENCH_core.json
 	@echo "wrote BENCH_core.json"
+
+# Benchmark regression gate: rerun the gated benchmarks with -benchmem and
+# compare against the committed BENCH_core.json. Fails on >30% ns/op or any
+# allocs/op regression (see cmd/benchjson -diff).
+bench-diff:
+	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_core.json -gate '$(BENCH_GATE)'
 
 # Regenerate every paper table and figure into out/ (see EXPERIMENTS.md).
 figures:

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson [-o FILE]
+//	go test -bench=. -benchmem . | benchjson -diff BENCH_core.json [-gate REGEX] [-ns-tol 0.30]
+//
+// In -diff mode the fresh results are compared against a committed
+// baseline: benchmarks whose name matches -gate fail the run when ns/op
+// regresses by more than -ns-tol (fractional, default 0.30) or when
+// allocs/op increases at all — the allocation wins are a ratchet. Gated
+// benchmarks missing from the fresh run also fail, so the gate cannot be
+// silently dropped. Non-gated benchmarks are reported but never fail.
 //
 // Lines that are not benchmark results (the header, PASS/ok trailers) are
 // folded into the report's metadata where recognized and skipped otherwise.
@@ -15,7 +23,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -40,12 +50,33 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
+	diff := flag.String("diff", "", "baseline JSON report to compare against (gate mode)")
+	gate := flag.String("gate", ".", "regexp of benchmark names the gate may fail on")
+	nsTol := flag.Float64("ns-tol", 0.30, "allowed fractional ns/op regression on gated benchmarks")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *diff != "" {
+		base, err := readReport(*diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		gateRe, err := regexp.Compile(*gate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+			os.Exit(1)
+		}
+		failures := diffReports(os.Stdout, base, rep, gateRe, *nsTol)
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark regression(s) vs %s\n", failures, *diff)
+			os.Exit(1)
+		}
+		return
 	}
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -61,6 +92,71 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// readReport loads a previously archived JSON report.
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// diffReports renders a comparison table and returns the number of gate
+// failures. A gated benchmark fails when its ns/op regresses by more than
+// nsTol (fractional), when its allocs/op increases at all, or when it is
+// present in the baseline but missing from the fresh run.
+func diffReports(w io.Writer, base, fresh *Report, gateRe *regexp.Regexp, nsTol float64) int {
+	baseByName := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	freshNames := make(map[string]bool, len(fresh.Results))
+	failures := 0
+	fmt.Fprintf(w, "%-44s %14s %14s %8s %10s  %s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δns", "allocs", "status")
+	for _, r := range fresh.Results {
+		freshNames[r.Name] = true
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14s %14.0f %8s %10d  %s\n",
+				r.Name, "-", r.NsPerOp, "-", r.AllocsPerOp, "new (no baseline)")
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = r.NsPerOp/b.NsPerOp - 1
+		}
+		gated := gateRe.MatchString(r.Name)
+		status := "ok"
+		if gated {
+			switch {
+			case ratio > nsTol:
+				status = fmt.Sprintf("FAIL: ns/op regressed %.0f%% (tolerance %.0f%%)", 100*ratio, 100*nsTol)
+				failures++
+			case r.AllocsPerOp > b.AllocsPerOp:
+				status = fmt.Sprintf("FAIL: allocs/op %d → %d", b.AllocsPerOp, r.AllocsPerOp)
+				failures++
+			}
+		} else {
+			status = "ok (ungated)"
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+7.0f%% %4d→%-5d  %s\n",
+			r.Name, b.NsPerOp, r.NsPerOp, 100*ratio, b.AllocsPerOp, r.AllocsPerOp, status)
+	}
+	for _, b := range base.Results {
+		if !freshNames[b.Name] && gateRe.MatchString(b.Name) {
+			fmt.Fprintf(w, "%-44s %14.0f %14s %8s %10s  FAIL: missing from fresh run\n",
+				b.Name, b.NsPerOp, "-", "-", "-")
+			failures++
+		}
+	}
+	return failures
 }
 
 // parse reads go-test benchmark output line by line.

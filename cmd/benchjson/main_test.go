@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: beqos
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAlpha-8      100   1000.0 ns/op   96 B/op   2 allocs/op
+BenchmarkBeta-8       200   2000.0 ns/op    0 B/op   0 allocs/op
+BenchmarkGamma-8      300   3000.0 ns/op
+PASS
+ok    beqos 1.234s
+`
+
+func parseSample(t *testing.T, text string) *Report {
+	t.Helper()
+	rep, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParse(t *testing.T) {
+	rep := parseSample(t, sampleOutput)
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || rep.Package != "beqos" {
+		t.Errorf("metadata wrong: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	a := rep.Results[0]
+	if a.Name != "BenchmarkAlpha" || a.NsPerOp != 1000 || a.BytesPerOp != 96 || a.AllocsPerOp != 2 {
+		t.Errorf("alpha parsed wrong: %+v", a)
+	}
+	if g := rep.Results[2]; g.AllocsPerOp != 0 || g.NsPerOp != 3000 {
+		t.Errorf("gamma parsed wrong: %+v", g)
+	}
+}
+
+// diffCase runs diffReports for a fresh run against the sample baseline.
+func diffCase(t *testing.T, fresh string, gate string, nsTol float64) (int, string) {
+	t.Helper()
+	base := parseSample(t, sampleOutput)
+	rep := parseSample(t, fresh)
+	var sb strings.Builder
+	fails := diffReports(&sb, base, rep, regexp.MustCompile(gate), nsTol)
+	return fails, sb.String()
+}
+
+func TestDiffClean(t *testing.T) {
+	fails, out := diffCase(t, sampleOutput, ".", 0.30)
+	if fails != 0 {
+		t.Errorf("identical runs should pass, got %d failures:\n%s", fails, out)
+	}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	fresh := strings.Replace(sampleOutput, "1000.0 ns/op", "1400.0 ns/op", 1)
+	fails, out := diffCase(t, fresh, ".", 0.30)
+	if fails != 1 || !strings.Contains(out, "ns/op regressed") {
+		t.Errorf("40%% ns regression should fail once, got %d:\n%s", fails, out)
+	}
+	// Within tolerance: 40% is fine at a 50% gate.
+	if fails, _ := diffCase(t, fresh, ".", 0.50); fails != 0 {
+		t.Errorf("regression within tolerance should pass, got %d failures", fails)
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	fresh := strings.Replace(sampleOutput, "96 B/op   2 allocs/op", "96 B/op   3 allocs/op", 1)
+	fails, out := diffCase(t, fresh, ".", 0.30)
+	if fails != 1 || !strings.Contains(out, "allocs/op 2 → 3") {
+		t.Errorf("any allocs/op increase should fail, got %d:\n%s", fails, out)
+	}
+}
+
+func TestDiffGateRestrictsFailures(t *testing.T) {
+	fresh := strings.Replace(sampleOutput, "1000.0 ns/op", "9000.0 ns/op", 1)
+	fails, out := diffCase(t, fresh, "BenchmarkBeta", 0.30)
+	if fails != 0 {
+		t.Errorf("ungated regression should not fail, got %d:\n%s", fails, out)
+	}
+	if !strings.Contains(out, "ok (ungated)") {
+		t.Errorf("ungated rows should still be reported:\n%s", out)
+	}
+}
+
+func TestDiffMissingGatedBenchmark(t *testing.T) {
+	fresh := strings.Replace(sampleOutput, "BenchmarkBeta-8       200   2000.0 ns/op    0 B/op   0 allocs/op\n", "", 1)
+	fails, out := diffCase(t, fresh, "BenchmarkBeta", 0.30)
+	if fails != 1 || !strings.Contains(out, "missing from fresh run") {
+		t.Errorf("dropped gated benchmark should fail, got %d:\n%s", fails, out)
+	}
+}
+
+func TestDiffNewBenchmarkIsInformational(t *testing.T) {
+	fresh := sampleOutput + "BenchmarkDelta-8   50   500.0 ns/op\n"
+	fails, out := diffCase(t, fresh, ".", 0.30)
+	if fails != 0 || !strings.Contains(out, "new (no baseline)") {
+		t.Errorf("benchmark without baseline should not fail, got %d:\n%s", fails, out)
+	}
+}

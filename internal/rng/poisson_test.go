@@ -1,0 +1,165 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"beqos/internal/dist"
+)
+
+// TestPoissonGoldenValues pins the sampler's exact output for fixed seeds,
+// so any change to the PTRS implementation (constants, draw order, the
+// 30-mean crossover) is caught as a determinism break, not a silent
+// statistics shift.
+func TestPoissonGoldenValues(t *testing.T) {
+	golden := map[float64][]int{
+		31:      {28, 34, 29, 39, 32, 34, 29, 25},
+		100:     {104, 86, 97, 102, 93, 107, 103, 109},
+		1000:    {1013, 1006, 976, 1001, 1018, 995, 956, 999},
+		12345.6: {12307, 12242, 12518, 12322, 12360, 12447, 12267, 12350},
+	}
+	s := New(7, 11)
+	for _, mean := range []float64{31, 100, 1000, 12345.6} {
+		for i, want := range golden[mean] {
+			if got := s.Poisson(mean); got != want {
+				t.Errorf("Poisson(%g) draw %d = %d, want %d", mean, i, got, want)
+			}
+		}
+	}
+	// Two identically seeded sources must agree draw for draw at any mean.
+	a, b := New(3, 9), New(3, 9)
+	for i := 0; i < 2000; i++ {
+		mean := 0.5 + float64(i%80)
+		if va, vb := a.Poisson(mean), b.Poisson(mean); va != vb {
+			t.Fatalf("draw %d (mean %g): %d vs %d", i, mean, va, vb)
+		}
+	}
+}
+
+// TestPoissonChiSquaredGOF checks the PTRS sampler's distribution against
+// the exact Poisson PMF with a chi-squared goodness-of-fit test at the
+// paper's k̄ = 100 regime. Everything is seeded, so the statistic is
+// deterministic; the bound is the χ²(df) p ≈ 0.999 critical value.
+func TestPoissonChiSquaredGOF(t *testing.T) {
+	const (
+		mean = 100.0
+		n    = 200000
+		lo   = 70 // pool k < lo and k > hi into tail bins
+		hi   = 130
+	)
+	d, err := dist.NewPoisson(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(13, 37)
+	counts := make([]int, hi-lo+3) // [below | lo..hi | above]
+	for i := 0; i < n; i++ {
+		k := s.Poisson(mean)
+		switch {
+		case k < lo:
+			counts[0]++
+		case k > hi:
+			counts[len(counts)-1]++
+		default:
+			counts[k-lo+1]++
+		}
+	}
+	var chi2 float64
+	for bin, obs := range counts {
+		var p float64
+		switch bin {
+		case 0:
+			p = d.CDF(lo - 1)
+		case len(counts) - 1:
+			p = d.TailProb(hi)
+		default:
+			p = d.PMF(lo + bin - 1)
+		}
+		exp := p * n
+		if exp < 5 {
+			t.Fatalf("bin %d expected count %v too small for chi-squared", bin, exp)
+		}
+		diff := float64(obs) - exp
+		chi2 += diff * diff / exp
+	}
+	// df = 62 bins − 1; χ²_{0.999, 61} ≈ 101. A broken sampler (wrong
+	// constants, biased squeeze) lands orders of magnitude above this.
+	if chi2 > 101 {
+		t.Errorf("chi-squared = %v over %d bins, exceeds the 0.999 critical value 101", chi2, len(counts))
+	}
+}
+
+// TestPoissonLargeMeanMoments covers the PTRS-only regime well past the
+// old chunked method's comfortable range.
+func TestPoissonLargeMeanMoments(t *testing.T) {
+	s := New(21, 4)
+	for _, mean := range []float64{31, 300, 5000} {
+		const n = 50000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := float64(s.Poisson(mean))
+			sum += x
+			sq += x * x
+		}
+		m := sum / n
+		v := sq/n - m*m
+		if math.Abs(m-mean) > 0.02*mean {
+			t.Errorf("poisson(%g) mean = %v", mean, m)
+		}
+		if math.Abs(v-mean) > 0.06*mean {
+			t.Errorf("poisson(%g) variance = %v, want ≈ mean", mean, v)
+		}
+	}
+}
+
+// TestSubstreamIndependence pins Substream's derivation and sanity-checks
+// decorrelation between neighboring substreams.
+func TestSubstreamGolden(t *testing.T) {
+	s1, s2 := Substream(7, 11, 0)
+	if s1 != 0x63cbe1e459320dd7 || s2 != 0x760fec77aacb280e {
+		t.Errorf("Substream(7,11,0) = %#x, %#x", s1, s2)
+	}
+	s1, s2 = Substream(7, 11, 1)
+	if s1 != 0xe6984080bab12a02 || s2 != 0x812e6299272e6df0 {
+		t.Errorf("Substream(7,11,1) = %#x, %#x", s1, s2)
+	}
+}
+
+func TestSubstreamDecorrelated(t *testing.T) {
+	// Streams from adjacent indices must not track each other.
+	a1, a2 := Substream(42, 43, 5)
+	b1, b2 := Substream(42, 43, 6)
+	sa, sb := New(a1, a2), New(b1, b2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if sa.IntN(1000) == sb.IntN(1000) {
+			same++
+		}
+	}
+	// Expect ~1 collision per 1000 draws for independent streams.
+	if same > 20 {
+		t.Errorf("adjacent substreams collide %d/1000 times", same)
+	}
+}
+
+func BenchmarkPoisson(b *testing.B) {
+	s := New(1, 2)
+	for _, mean := range []float64{10, 100, 1000} {
+		b.Run(formatMean(mean), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Poisson(mean)
+			}
+		})
+	}
+}
+
+func formatMean(m float64) string {
+	switch m {
+	case 10:
+		return "mean10"
+	case 100:
+		return "mean100"
+	default:
+		return "mean1000"
+	}
+}

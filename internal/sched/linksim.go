@@ -1,9 +1,6 @@
 package sched
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Source generates one flow's packet process for the link simulator.
 type Source struct {
@@ -29,6 +26,17 @@ type FlowStats struct {
 	MaxDelay float64
 }
 
+// cursor walks one source's deterministic packet process lazily — the
+// simulator merges cursors on the fly instead of materializing and sorting
+// every arrival up front, so a long horizon costs no memory.
+type cursor struct {
+	src      Source
+	at       float64 // next arrival instant
+	stop     float64
+	interval float64
+	stat     int // index into the per-flow stats table
+}
+
 // RunLink drives a scheduler on a link of the given capacity with the
 // given packet sources until horizon, and reports per-flow statistics. The
 // link serves one packet at a time at the capacity rate and is
@@ -40,10 +48,12 @@ func RunLink(s Scheduler, capacity float64, sources []Source, horizon float64) (
 	if !(horizon > 0) {
 		return nil, fmt.Errorf("sched: horizon must be positive, got %g", horizon)
 	}
-	// Materialize all arrivals (deterministic fluid-like processes keep
-	// the fairness measurements noise-free).
-	var arrivals []Packet
-	offered := make(map[int]float64)
+	// One stats slot per flow ID (sources may share a flow); arrival ties
+	// across sources resolve in source order, matching a stable sort of the
+	// materialized processes.
+	statIdx := make(map[int]int, len(sources))
+	var flowIDs []int
+	cursors := make([]cursor, 0, len(sources))
 	for _, src := range sources {
 		if !(src.Rate > 0) || !(src.PacketSize > 0) {
 			return nil, fmt.Errorf("sched: source %d needs positive rate and packet size", src.Flow)
@@ -52,32 +62,61 @@ func RunLink(s Scheduler, capacity float64, sources []Source, horizon float64) (
 		if stop <= 0 || stop > horizon {
 			stop = horizon
 		}
-		interval := src.PacketSize / src.Rate
-		for at := src.Start; at < stop; at += interval {
-			arrivals = append(arrivals, Packet{Flow: src.Flow, Size: src.PacketSize, Arrival: at})
-			offered[src.Flow] += src.PacketSize
+		si, ok := statIdx[src.Flow]
+		if !ok {
+			si = len(flowIDs)
+			statIdx[src.Flow] = si
+			flowIDs = append(flowIDs, src.Flow)
 		}
+		cursors = append(cursors, cursor{
+			src:      src,
+			at:       src.Start,
+			stop:     stop,
+			interval: src.PacketSize / src.Rate,
+			stat:     si,
+		})
 	}
-	sort.SliceStable(arrivals, func(i, j int) bool { return arrivals[i].Arrival < arrivals[j].Arrival })
+	offered := make([]float64, len(flowIDs))
+	served := make([]float64, len(flowIDs))
+	maxDelay := make([]float64, len(flowIDs))
 
-	stats := make(map[int]FlowStats)
+	// nextCursor returns the cursor with the earliest pending arrival.
+	nextCursor := func() *cursor {
+		var best *cursor
+		for i := range cursors {
+			c := &cursors[i]
+			if c.at >= c.stop {
+				continue
+			}
+			if best == nil || c.at < best.at {
+				best = c
+			}
+		}
+		return best
+	}
+
 	now := 0.0
-	next := 0
 	for {
 		// Admit every arrival at or before now.
-		for next < len(arrivals) && arrivals[next].Arrival <= now {
-			if err := s.Enqueue(arrivals[next]); err != nil {
+		for {
+			c := nextCursor()
+			if c == nil || c.at > now {
+				break
+			}
+			if err := s.Enqueue(Packet{Flow: c.src.Flow, Size: c.src.PacketSize, Arrival: c.at}); err != nil {
 				return nil, err
 			}
-			next++
+			offered[c.stat] += c.src.PacketSize
+			c.at += c.interval
 		}
 		pkt, ok := s.Dequeue()
 		if !ok {
-			if next >= len(arrivals) {
+			c := nextCursor()
+			if c == nil {
 				break
 			}
 			// Idle until the next arrival (work conservation).
-			now = arrivals[next].Arrival
+			now = c.at
 			continue
 		}
 		done := now + pkt.Size/capacity
@@ -85,21 +124,28 @@ func RunLink(s Scheduler, capacity float64, sources []Source, horizon float64) (
 			break
 		}
 		now = done
-		st := stats[pkt.Flow]
-		st.Served += pkt.Size
-		if d := done - pkt.Arrival; d > st.MaxDelay {
-			st.MaxDelay = d
+		si := statIdx[pkt.Flow]
+		served[si] += pkt.Size
+		if d := done - pkt.Arrival; d > maxDelay[si] {
+			maxDelay[si] = d
 		}
-		stats[pkt.Flow] = st
 	}
-	for flow, st := range stats {
-		st.Offered = offered[flow]
-		st.Throughput = st.Served / horizon
-		stats[flow] = st
+	// Account arrivals the loop never reached (e.g. backlog ended the run
+	// early): Offered reflects the full offered process, as before.
+	for i := range cursors {
+		c := &cursors[i]
+		for at := c.at; at < c.stop; at += c.interval {
+			offered[c.stat] += c.src.PacketSize
+		}
 	}
-	for flow, off := range offered {
-		if _, ok := stats[flow]; !ok {
-			stats[flow] = FlowStats{Offered: off}
+
+	stats := make(map[int]FlowStats, len(flowIDs))
+	for i, id := range flowIDs {
+		stats[id] = FlowStats{
+			Offered:    offered[i],
+			Served:     served[i],
+			Throughput: served[i] / horizon,
+			MaxDelay:   maxDelay[i],
 		}
 	}
 	return stats, nil

@@ -12,40 +12,43 @@
 // definitions against measured ones.
 package sim
 
-import "container/heap"
+// eventKind tags a scheduled event record with its dispatch action. The
+// simulator's hot loop schedules tagged records (no closure allocation);
+// evFunc carries an arbitrary callback for external users of the engine.
+type eventKind uint8
 
-// event is a scheduled callback. seq breaks ties deterministically.
+const (
+	// evFunc runs the attached closure (the generic Schedule API).
+	evFunc eventKind = iota
+	// evPump fires one arrival batch (n flows) and re-arms the pump.
+	evPump
+	// evDepart ends flow `flow`'s holding time.
+	evDepart
+	// evSample records a §5.1 load observation for flow `flow`.
+	evSample
+	// evRetry re-submits rejected flow `flow` after its backoff.
+	evRetry
+)
+
+// event is one scheduled record. seq breaks ties deterministically, so
+// events scheduled for the same instant run in scheduling order.
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at   float64
+	seq  uint64
+	fn   func() // evFunc only
+	kind eventKind
+	flow int32 // flow-arena index (evDepart/evSample/evRetry)
+	n    int32 // batch size (evPump)
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// Engine is a deterministic discrete-event scheduler.
+// Engine is a deterministic discrete-event scheduler. Its priority queue
+// is a typed 4-ary heap over event records: no container/heap interface
+// boxing, no per-event allocation once the backing array has grown to the
+// run's steady-state size.
 type Engine struct {
 	now float64
 	seq uint64
-	pq  eventHeap
+	pq  []event
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -54,32 +57,111 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
 
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.pq) }
+
 // Schedule runs fn after the given (nonnegative) delay. Events scheduled
 // for the same instant run in scheduling order.
 func (e *Engine) Schedule(delay float64, fn func()) {
+	ev := event{kind: evFunc, fn: fn}
+	e.schedule(delay, ev)
+}
+
+// scheduleTagged enqueues a closure-free tagged record — the simulator's
+// zero-allocation internal path.
+func (e *Engine) scheduleTagged(delay float64, kind eventKind, flow, n int32) {
+	e.schedule(delay, event{kind: kind, flow: flow, n: n})
+}
+
+func (e *Engine) schedule(delay float64, ev event) {
 	if delay < 0 {
 		delay = 0
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: e.now + delay, seq: e.seq, fn: fn})
+	ev.at, ev.seq = e.now+delay, e.seq
+	e.push(ev)
 }
 
-// Run processes events until the queue empties or the clock passes until.
-// Events at exactly until are processed.
+// next pops the earliest event at or before until, advancing the clock to
+// it. When no such event exists it advances the clock to until and reports
+// false; events strictly past until stay queued.
+func (e *Engine) next(until float64) (event, bool) {
+	if len(e.pq) == 0 || e.pq[0].at > until {
+		if e.now < until {
+			e.now = until
+		}
+		return event{}, false
+	}
+	ev := e.pop()
+	e.now = ev.at
+	return ev, true
+}
+
+// Run processes closure events until the queue empties or the clock passes
+// until. Events at exactly until are processed. (The simulator's internal
+// loop uses next directly and dispatches tagged records itself.)
 func (e *Engine) Run(until float64) {
-	for len(e.pq) > 0 {
-		next := e.pq[0]
-		if next.at > until {
+	for {
+		ev, ok := e.next(until)
+		if !ok {
+			return
+		}
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+}
+
+// less orders events by (at, seq).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push inserts into the 4-ary min-heap.
+func (e *Engine) push(ev event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(&e.pq[i], &e.pq[p]) {
 			break
 		}
-		heap.Pop(&e.pq)
-		e.now = next.at
-		next.fn()
-	}
-	if e.now < until {
-		e.now = until
+		e.pq[i], e.pq[p] = e.pq[p], e.pq[i]
+		i = p
 	}
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.pq) }
+// pop removes and returns the heap minimum.
+func (e *Engine) pop() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	e.pq[0] = e.pq[n]
+	e.pq[n] = event{} // drop the closure reference, if any
+	e.pq = e.pq[:n]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(&e.pq[j], &e.pq[m]) {
+				m = j
+			}
+		}
+		if !less(&e.pq[m], &e.pq[i]) {
+			break
+		}
+		e.pq[i], e.pq[m] = e.pq[m], e.pq[i]
+		i = m
+	}
+	return top
+}

@@ -1,8 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"beqos/internal/rng"
+	"beqos/internal/sweep"
 )
 
 // Summary aggregates a metric across independent replications.
@@ -27,27 +31,43 @@ type Replication struct {
 	BlockingRate Summary
 }
 
-// RunReplications runs n independent replications of cfg (reseeding each)
-// and reports across-replication means with standard errors — the
-// defensible way to quote simulator numbers against the analytical model.
+// RunReplications runs n independent replications of cfg and reports
+// across-replication means with standard errors — the defensible way to
+// quote simulator numbers against the analytical model. Replications fan
+// out over all available cores; see RunReplicationsWorkers for control.
 func RunReplications(cfg Config, n int) (Replication, error) {
+	return RunReplicationsWorkers(cfg, n, 0)
+}
+
+// RunReplicationsWorkers is RunReplications on an explicit worker budget
+// (0 = GOMAXPROCS, 1 = sequential). Each replication i draws its seeds
+// from rng.Substream(cfg.Seed1, cfg.Seed2, i) — a pure function of the
+// base seed and the index — and results are reduced in index order, so
+// the output is byte-identical for every worker count.
+func RunReplicationsWorkers(cfg Config, n, workers int) (Replication, error) {
 	if n < 2 {
 		return Replication{}, fmt.Errorf("sim: need at least 2 replications, got %d", n)
 	}
-	util := make([]float64, 0, n)
-	occ := make([]float64, 0, n)
-	blk := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
+	type metrics struct{ util, occ, blk float64 }
+	outs := make([]metrics, n)
+	err := sweep.ForEach(context.Background(), workers, n, func(i int) error {
 		run := cfg
-		run.Seed1 = cfg.Seed1 + uint64(i)
-		run.Seed2 = cfg.Seed2 ^ (uint64(i+1) * 0x9e3779b97f4a7c15)
+		run.Seed1, run.Seed2 = rng.Substream(cfg.Seed1, cfg.Seed2, uint64(i))
 		res, err := Run(run)
 		if err != nil {
-			return Replication{}, fmt.Errorf("sim: replication %d: %w", i, err)
+			return fmt.Errorf("sim: replication %d: %w", i, err)
 		}
-		util = append(util, res.MeanUtility)
-		occ = append(occ, res.AvgOccupancy)
-		blk = append(blk, res.BlockingRate)
+		outs[i] = metrics{util: res.MeanUtility, occ: res.AvgOccupancy, blk: res.BlockingRate}
+		return nil
+	})
+	if err != nil {
+		return Replication{}, err
+	}
+	util := make([]float64, n)
+	occ := make([]float64, n)
+	blk := make([]float64, n)
+	for i, m := range outs {
+		util[i], occ[i], blk[i] = m.util, m.occ, m.blk
 	}
 	return Replication{
 		MeanUtility:  summarize(util),

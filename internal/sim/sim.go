@@ -111,63 +111,77 @@ type Result struct {
 	ClassFlows   []int
 }
 
-// flow carries per-flow measurement state.
+// flow carries per-flow measurement state. Flows live in simState's arena
+// and are recycled through a free list: a flow index is valid from its
+// arrival event until its departure (or final rejection), after which the
+// slot is reused — no event ever outlives the flow it references, because
+// §5.1 sample instants are drawn strictly inside the holding interval.
 type flow struct {
-	arrivedAt float64
-	attempts  int
-	maxLoad   int
-	class     int     // index into the class list (0 when homogeneous)
-	utilAccum float64 // ∫ π dt reference at admission (time-average mode)
-	counted   bool    // true if the flow arrived post-warmup
+	admittedAt float64
+	utilAccum  float64 // ∫ π dt reference at admission (time-average mode)
+	attempts   int32
+	maxLoad    int32
+	class      int32 // index into the class list (0 when homogeneous)
+	counted    bool  // true if the flow arrived post-warmup
 }
 
 // Run executes one simulation and returns its measurements.
 func Run(cfg Config) (Result, error) {
+	s, err := prepare(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	s.run()
+	return s.result(), nil
+}
+
+// prepare validates cfg and builds the initial simulation state.
+func prepare(cfg Config) (*simState, error) {
 	if !(cfg.Capacity > 0) {
-		return Result{}, fmt.Errorf("sim: capacity must be positive, got %g", cfg.Capacity)
+		return nil, fmt.Errorf("sim: capacity must be positive, got %g", cfg.Capacity)
 	}
 	var classes []FlowClass
 	if len(cfg.Classes) > 0 {
 		var err error
 		classes, err = normalizeClasses(cfg.Classes)
 		if err != nil {
-			return Result{}, err
+			return nil, err
 		}
 		if cfg.Util == nil {
 			mix, err := classMixture(classes)
 			if err != nil {
-				return Result{}, err
+				return nil, err
 			}
 			cfg.Util = mix
 		}
 	}
 	if cfg.Util == nil || cfg.Arrivals == nil || cfg.Holding == nil {
-		return Result{}, fmt.Errorf("sim: utility, arrivals and holding must be non-nil")
+		return nil, fmt.Errorf("sim: utility, arrivals and holding must be non-nil")
 	}
 	if !(cfg.Horizon > 0) || cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
-		return Result{}, fmt.Errorf("sim: need 0 ≤ warmup < horizon, got warmup=%g horizon=%g", cfg.Warmup, cfg.Horizon)
+		return nil, fmt.Errorf("sim: need 0 ≤ warmup < horizon, got warmup=%g horizon=%g", cfg.Warmup, cfg.Horizon)
 	}
 	if cfg.Samples < 0 {
-		return Result{}, fmt.Errorf("sim: samples must be nonnegative, got %d", cfg.Samples)
+		return nil, fmt.Errorf("sim: samples must be nonnegative, got %d", cfg.Samples)
 	}
 	if cfg.Retry != nil {
 		if cfg.Policy != Reservation {
-			return Result{}, fmt.Errorf("sim: retries only apply to the reservation policy")
+			return nil, fmt.Errorf("sim: retries only apply to the reservation policy")
 		}
 		if !(cfg.Retry.MeanBackoff > 0) || cfg.Retry.MaxAttempts < 1 || cfg.Retry.Penalty < 0 {
-			return Result{}, fmt.Errorf("sim: invalid retry config %+v", *cfg.Retry)
+			return nil, fmt.Errorf("sim: invalid retry config %+v", *cfg.Retry)
 		}
 	}
 	kmax := cfg.KMax
 	if cfg.Policy == Reservation && kmax == 0 {
 		k, ok := utility.KMax(cfg.Util, cfg.Capacity)
 		if !ok {
-			return Result{}, fmt.Errorf("sim: utility %q has no finite kmax; pass KMax explicitly", cfg.Util.Name())
+			return nil, fmt.Errorf("sim: utility %q has no finite kmax; pass KMax explicitly", cfg.Util.Name())
 		}
 		kmax = k
 	}
 	if cfg.Policy == Reservation && kmax < 1 {
-		return Result{}, fmt.Errorf("sim: reservation admits no flows at capacity %g", cfg.Capacity)
+		return nil, fmt.Errorf("sim: reservation admits no flows at capacity %g", cfg.Capacity)
 	}
 
 	src := rng.New(cfg.Seed1, cfg.Seed2)
@@ -179,6 +193,12 @@ func Run(cfg Config) (Result, error) {
 		src:     src,
 		eng:     eng,
 		occLast: 0,
+		// Preallocate the accumulators and arenas at plausible steady-state
+		// sizes so the hot loop allocates only on (rare, amortized) growth.
+		occTime:   make([]float64, 0, 128),
+		arrCounts: make([]float64, 0, 128),
+		flows:     make([]flow, 0, 256),
+		free:      make([]int32, 0, 256),
 	}
 	if len(classes) > 0 {
 		s.piAccumClass = make([]float64, len(classes))
@@ -186,20 +206,17 @@ func Run(cfg Config) (Result, error) {
 		s.flowsClass = make([]int, len(classes))
 	}
 
-	// Arrival pump: schedules itself forever (until the horizon stops it).
-	var pump func()
-	pump = func() {
-		wait, batch := cfg.Arrivals.Next(src)
-		eng.Schedule(wait, func() {
-			for i := 0; i < batch; i++ {
-				s.arrive(&flow{arrivedAt: eng.Now(), counted: eng.Now() >= cfg.Warmup})
-			}
-			pump()
-		})
-	}
-	pump()
-	eng.Run(cfg.Horizon)
-	return s.result(), nil
+	return s, nil
+}
+
+// run primes the arrival pump and drains the event loop to the horizon.
+// Each evPump event lands one batch, then draws the next interarrival and
+// re-arms itself (same RNG draw order as a recursive closure pump, with no
+// per-batch closure).
+func (s *simState) run() {
+	wait, batch := s.cfg.Arrivals.Next(s.src)
+	s.eng.scheduleTagged(wait, evPump, 0, int32(batch))
+	s.loop()
 }
 
 // simState carries the mutable simulation state.
@@ -209,6 +226,10 @@ type simState struct {
 	kmax    int
 	src     *rng.Source
 	eng     *Engine
+
+	// flows is the flow arena; free lists recycled slots.
+	flows []flow
+	free  []int32
 
 	active    int
 	occTime   []float64 // time-weighted occupancy histogram (post-warmup)
@@ -222,15 +243,68 @@ type simState struct {
 	flowsClass   []int
 	peak         int
 	utilSum      float64
-	flows        int
+	nflows       int
 	admitted     int
 	rejected     int
 	retries      int
 	attempts     int
 }
 
+// loop drains the event queue up to the horizon, dispatching tagged
+// records. This is the simulator's entire steady state: no closures, no
+// interface boxing, no allocation beyond amortized slice growth.
+func (s *simState) loop() {
+	for {
+		ev, ok := s.eng.next(s.cfg.Horizon)
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case evPump:
+			now := s.eng.Now()
+			counted := now >= s.cfg.Warmup
+			for i := int32(0); i < ev.n; i++ {
+				fi := s.newFlow()
+				s.flows[fi].counted = counted
+				s.arrive(fi)
+			}
+			wait, batch := s.cfg.Arrivals.Next(s.src)
+			s.eng.scheduleTagged(wait, evPump, 0, int32(batch))
+		case evDepart:
+			s.depart(ev.flow)
+			s.freeFlow(ev.flow)
+		case evSample:
+			f := &s.flows[ev.flow]
+			if int32(s.active) > f.maxLoad {
+				f.maxLoad = int32(s.active)
+			}
+		case evRetry:
+			s.arrive(ev.flow)
+		case evFunc:
+			ev.fn()
+		}
+	}
+}
+
+// newFlow takes a zeroed slot from the free list (or grows the arena).
+func (s *simState) newFlow() int32 {
+	if n := len(s.free); n > 0 {
+		fi := s.free[n-1]
+		s.free = s.free[:n-1]
+		return fi
+	}
+	s.flows = append(s.flows, flow{})
+	return int32(len(s.flows) - 1)
+}
+
+// freeFlow recycles a slot once no scheduled event references it.
+func (s *simState) freeFlow(fi int32) {
+	s.flows[fi] = flow{}
+	s.free = append(s.free, fi)
+}
+
 // evalUtil returns the utility a flow of class ci derives from share b.
-func (s *simState) evalUtil(ci int, b float64) float64 {
+func (s *simState) evalUtil(ci int32, b float64) float64 {
 	if len(s.classes) == 0 {
 		return s.cfg.Util.Eval(b)
 	}
@@ -254,7 +328,7 @@ func (s *simState) advance() {
 			share := s.cfg.Capacity / float64(s.active)
 			s.piAccum += (now - start) * s.cfg.Util.Eval(share)
 			for i := range s.piAccumClass {
-				s.piAccumClass[i] += (now - start) * s.evalUtil(i, share)
+				s.piAccumClass[i] += (now - start) * s.evalUtil(int32(i), share)
 			}
 		}
 	}
@@ -270,15 +344,16 @@ func (s *simState) setActive(n int) {
 }
 
 // arrive handles one flow request (first attempt or retry).
-func (s *simState) arrive(f *flow) {
+func (s *simState) arrive(fi int32) {
+	f := &s.flows[fi]
 	f.attempts++
 	if f.attempts == 1 && len(s.classes) > 0 {
-		f.class = pickClass(s.classes, s.src)
+		f.class = int32(pickClass(s.classes, s.src))
 	}
 	if f.counted {
 		s.attempts++
 		if f.attempts == 1 {
-			s.flows++
+			s.nflows++
 			if len(s.classes) > 0 {
 				s.flowsClass[f.class]++
 			}
@@ -292,46 +367,44 @@ func (s *simState) arrive(f *flow) {
 		}
 	}
 	if s.cfg.Policy == Reservation && s.active >= s.kmax {
-		s.reject(f)
+		s.reject(fi)
 		return
 	}
-	s.admit(f)
+	s.admit(fi)
 }
 
-func (s *simState) admit(f *flow) {
+func (s *simState) admit(fi int32) {
+	f := &s.flows[fi]
 	if f.counted {
 		s.admitted++
 	}
 	s.setActive(s.active + 1)
-	f.maxLoad = s.active
+	f.maxLoad = int32(s.active)
 	if len(s.classes) > 0 {
 		f.utilAccum = s.piAccumClass[f.class]
 	} else {
 		f.utilAccum = s.piAccum
 	}
-	admittedAt := s.eng.Now()
+	f.admittedAt = s.eng.Now()
 	holding := s.cfg.Holding.Sample(s.src)
 	// Extra load samples at uniform instants over the flow's lifetime
-	// (§5.1): record the concurrent flow count at each.
+	// (§5.1): record the concurrent flow count at each. Sample instants
+	// are strictly inside [0, holding), so every evSample fires before the
+	// flow's evDepart recycles its slot.
 	for i := 1; i < s.cfg.Samples; i++ {
 		at := s.src.Float64() * holding
-		s.eng.Schedule(at, func() {
-			if s.active > f.maxLoad {
-				f.maxLoad = s.active
-			}
-		})
+		s.eng.scheduleTagged(at, evSample, fi, 0)
 	}
-	s.eng.Schedule(holding, func() {
-		s.depart(f, admittedAt)
-	})
+	s.eng.scheduleTagged(holding, evDepart, fi, 0)
 }
 
-func (s *simState) depart(f *flow, admittedAt float64) {
+func (s *simState) depart(fi int32) {
+	f := &s.flows[fi]
 	s.setActive(s.active - 1)
 	if !f.counted {
 		return
 	}
-	duration := s.eng.Now() - admittedAt
+	duration := s.eng.Now() - f.admittedAt
 	var pi float64
 	if s.cfg.Samples == 0 && duration > 0 {
 		// Time-average performance over the flow's lifetime.
@@ -351,14 +424,13 @@ func (s *simState) depart(f *flow, admittedAt float64) {
 	}
 }
 
-func (s *simState) reject(f *flow) {
-	if s.cfg.Retry != nil && f.attempts < s.cfg.Retry.MaxAttempts {
+func (s *simState) reject(fi int32) {
+	f := &s.flows[fi]
+	if s.cfg.Retry != nil && int(f.attempts) < s.cfg.Retry.MaxAttempts {
 		if f.counted {
 			s.retries++
 		}
-		s.eng.Schedule(s.src.Exp(s.cfg.Retry.MeanBackoff), func() {
-			s.arrive(f)
-		})
+		s.eng.scheduleTagged(s.src.Exp(s.cfg.Retry.MeanBackoff), evRetry, fi, 0)
 		return
 	}
 	if f.counted {
@@ -368,6 +440,7 @@ func (s *simState) reject(f *flow) {
 			s.utilSumClass[f.class] -= s.penalty(f)
 		}
 	}
+	s.freeFlow(fi)
 }
 
 // penalty returns the accumulated retry penalty α·(attempts − 1).
@@ -381,7 +454,7 @@ func (s *simState) penalty(f *flow) float64 {
 func (s *simState) result() Result {
 	s.advance() // account the final stretch up to the horizon
 	res := Result{
-		Flows:         s.flows,
+		Flows:         s.nflows,
 		Admitted:      s.admitted,
 		Rejected:      s.rejected,
 		Retries:       s.retries,
@@ -398,8 +471,8 @@ func (s *simState) result() Result {
 			res.ArrivalLoad = emp
 		}
 	}
-	if s.flows > 0 {
-		res.MeanUtility = s.utilSum / float64(s.flows)
+	if s.nflows > 0 {
+		res.MeanUtility = s.utilSum / float64(s.nflows)
 	}
 	if s.attempts > 0 {
 		blocked := s.attempts - s.admitted
