@@ -2,11 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-diff figures examples cover clean
+.PHONY: all build vet test race check bench bench-diff bench-server figures examples cover clean
 
 # Benchmarks the regression gate enforces (see bench-diff): the simulator
-# validation runs, the enforcement loop, and the SCFQ hot path.
-BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue
+# validation runs, the enforcement loop, the SCFQ hot path, and the
+# admission-server throughput suite (ns/op and allocs/op — the serving
+# plane's reserve→grant path must stay at 0 allocs/op).
+BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput
 
 all: build vet test
 
@@ -20,7 +22,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/resv/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ .
+	$(GO) test -race ./internal/core/ ./internal/resv/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ .
 
 # Full pre-merge gate: vet plus the race-enabled test suite.
 check: vet race
@@ -37,6 +39,11 @@ bench:
 # allocs/op regression (see cmd/benchjson -diff).
 bench-diff:
 	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_core.json -gate '$(BENCH_GATE)'
+
+# Just the serving-plane throughput suite (net.Pipe + TCP loopback,
+# sync and pipelined clients), for quick iteration on internal/resv.
+bench-server:
+	$(GO) test -bench=BenchmarkServerThroughput -benchmem -run '^$$' .
 
 # Regenerate every paper table and figure into out/ (see EXPERIMENTS.md).
 figures:

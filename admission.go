@@ -69,6 +69,10 @@ func (a *AdmissionServer) Active() int { return a.s.Active() }
 // KMax returns the admission threshold.
 func (a *AdmissionServer) KMax() int { return a.s.KMax() }
 
+// Shards returns the lock-stripe width of the server's soft-state tables
+// (see DESIGN.md §8).
+func (a *AdmissionServer) Shards() int { return a.s.Shards() }
+
 // SetLogf installs a logging callback for protocol events.
 func (a *AdmissionServer) SetLogf(logf func(format string, args ...interface{})) {
 	a.s.Logf = logf

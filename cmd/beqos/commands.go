@@ -265,8 +265,8 @@ func cmdServe(args []string) error {
 	if *ttl > 0 {
 		ttlNote = fmt.Sprintf("soft-state TTL %v", *ttl)
 	}
-	fmt.Printf("beqos: admission server on %s (capacity %g, kmax %d, %s)\n",
-		ln.Addr(), *capacity, srv.KMax(), ttlNote)
+	fmt.Printf("beqos: admission server on %s (capacity %g, kmax %d, %d shards, %s)\n",
+		ln.Addr(), *capacity, srv.KMax(), srv.Shards(), ttlNote)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	go func() {

@@ -309,3 +309,58 @@ func TestProbeRejectsNoTTLServer(t *testing.T) {
 		t.Fatal("probing a no-TTL server should fail")
 	}
 }
+
+// TestHarnessWithConcurrentObservers runs the load harness while outside
+// goroutines hammer the server's lock-free observers — the same accessors
+// the soft-state probe samples in real time. Under -race this pins down
+// that Active/Allocated reads need no lock against live admission traffic;
+// the harness result must be unaffected.
+func TestHarnessWithConcurrentObservers(t *testing.T) {
+	util := utility.NewAdaptive()
+	const c = 20.0
+	srv := newServer(t, c, util)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if a := srv.Active(); a < 0 || a > int(c) {
+					t.Errorf("Active() = %d outside [0, %g]", a, c)
+					return
+				}
+				if al := srv.Allocated(); al < 0 || al > c {
+					t.Errorf("Allocated() = %g outside [0, %g]", al, c)
+					return
+				}
+			}
+		}()
+	}
+	res, err := Run(Config{
+		Server:   srv,
+		Capacity: c,
+		Util:     util,
+		Rate:     20,
+		Hold:     1,
+		Duration: 40,
+		Seed1:    7, Seed2: 7,
+	})
+	close(stop)
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Anomalies != 0 {
+		t.Errorf("anomalies = %d, want 0", res.Anomalies)
+	}
+	if res.FinalActive != 0 {
+		t.Errorf("final active = %d, want 0", res.FinalActive)
+	}
+}

@@ -3,6 +3,7 @@ package resv
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -15,6 +16,10 @@ import (
 type Client struct {
 	mu sync.Mutex
 	nc net.Conn
+	// wbuf/rbuf are the frame scratch buffers, guarded by mu. A stack
+	// array would escape through the net.Conn interface call; these keep
+	// the steady-state round trip at zero allocations.
+	wbuf, rbuf [FrameSize]byte
 }
 
 // Dial connects to a resv server at the given network address.
@@ -36,6 +41,21 @@ func NewClient(nc net.Conn) *Client {
 // held through it.
 func (c *Client) Close() error { return c.nc.Close() }
 
+// writeFrame and readFrame are WriteFrame/ReadFrame through the client's
+// scratch buffers. Callers hold c.mu.
+func (c *Client) writeFrame(f Frame) error {
+	putFrame(&c.wbuf, f)
+	_, err := c.nc.Write(c.wbuf[:])
+	return err
+}
+
+func (c *Client) readFrame() (Frame, error) {
+	if _, err := io.ReadFull(c.nc, c.rbuf[:]); err != nil {
+		return Frame{}, err
+	}
+	return DecodeFrame(c.rbuf[:])
+}
+
 // roundTrip sends one frame and reads one reply, honoring the context
 // deadline. sent reports whether the request reached the wire: when it did
 // and err is non-nil, the server may have processed the request even though
@@ -53,10 +73,10 @@ func (c *Client) roundTrip(ctx context.Context, req Frame) (reply Frame, sent bo
 	if err := ctx.Err(); err != nil {
 		return Frame{}, false, err
 	}
-	if err := WriteFrame(c.nc, req); err != nil {
+	if err := c.writeFrame(req); err != nil {
 		return Frame{}, false, fmt.Errorf("resv: send %s: %w", req.Type, err)
 	}
-	reply, err = ReadFrame(c.nc)
+	reply, err = c.readFrame()
 	if err != nil {
 		return Frame{}, true, fmt.Errorf("resv: awaiting reply to %s: %w", req.Type, err)
 	}
@@ -258,11 +278,11 @@ func (c *Client) teardownBestEffort(flowID uint64) {
 	if err := c.nc.SetDeadline(time.Now().Add(bestEffortTeardownTimeout)); err != nil {
 		return
 	}
-	if err := WriteFrame(c.nc, Frame{Type: MsgTeardown, FlowID: flowID}); err != nil {
+	if err := c.writeFrame(Frame{Type: MsgTeardown, FlowID: flowID}); err != nil {
 		return
 	}
 	for {
-		reply, err := ReadFrame(c.nc)
+		reply, err := c.readFrame()
 		if err != nil {
 			return
 		}

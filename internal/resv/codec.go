@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // MsgType identifies a protocol frame.
@@ -116,14 +117,19 @@ type Frame struct {
 // ErrBadFrame is wrapped by decoding errors.
 var ErrBadFrame = fmt.Errorf("resv: bad frame")
 
-// AppendFrame appends the wire encoding of f to dst.
-func AppendFrame(dst []byte, f Frame) []byte {
-	var buf [FrameSize]byte
+// putFrame encodes f into a fixed-size buffer.
+func putFrame(buf *[FrameSize]byte, f Frame) {
 	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
 	buf[2] = protocolVersion
 	buf[3] = uint8(f.Type)
 	binary.BigEndian.PutUint64(buf[4:12], f.FlowID)
 	binary.BigEndian.PutUint64(buf[12:20], math.Float64bits(f.Value))
+}
+
+// AppendFrame appends the wire encoding of f to dst.
+func AppendFrame(dst []byte, f Frame) []byte {
+	var buf [FrameSize]byte
+	putFrame(&buf, f)
 	return append(dst, buf[:]...)
 }
 
@@ -149,16 +155,45 @@ func DecodeFrame(b []byte) (Frame, error) {
 	}, nil
 }
 
+// DecodeFrames decodes every complete frame at the front of buf, appending
+// them to dst (append-style, like AppendFrame: pass a scratch slice's [:0]
+// to reuse its backing array). It returns the extended slice and the
+// undecoded remainder — a partial trailing frame, possibly empty. On a
+// malformed frame it returns the frames decoded before it, the remainder
+// starting at the bad frame, and the decode error.
+func DecodeFrames(dst []Frame, buf []byte) ([]Frame, []byte, error) {
+	for len(buf) >= FrameSize {
+		f, err := DecodeFrame(buf[:FrameSize])
+		if err != nil {
+			return dst, buf, err
+		}
+		dst = append(dst, f)
+		buf = buf[FrameSize:]
+	}
+	return dst, buf, nil
+}
+
+// frameBufPool recycles frame scratch buffers for WriteFrame/ReadFrame. A
+// local array would escape through the io.Writer/io.Reader interface call
+// (the function is past the inlining budget, so no devirtualization saves
+// it), putting one heap allocation on every frame — the pool makes the
+// steady state allocation-free. Hot paths with a stable peer keep their
+// own scratch instead (Client's buffers, the server's batch buffers).
+var frameBufPool = sync.Pool{New: func() interface{} { return new([FrameSize]byte) }}
+
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, f Frame) error {
-	buf := AppendFrame(nil, f)
-	_, err := w.Write(buf)
+	buf := frameBufPool.Get().(*[FrameSize]byte)
+	putFrame(buf, f)
+	_, err := w.Write(buf[:])
+	frameBufPool.Put(buf)
 	return err
 }
 
 // ReadFrame reads exactly one frame from r.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var buf [FrameSize]byte
+	buf := frameBufPool.Get().(*[FrameSize]byte)
+	defer frameBufPool.Put(buf)
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return Frame{}, err
 	}

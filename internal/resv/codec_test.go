@@ -87,3 +87,122 @@ func TestMsgTypeStrings(t *testing.T) {
 		t.Error("unknown type should still render")
 	}
 }
+
+func TestDecodeFrames(t *testing.T) {
+	want := []Frame{
+		{Type: MsgRequest, FlowID: 1, Value: 1},
+		{Type: MsgGrant, FlowID: 2, Value: 2.5},
+		{Type: MsgTeardown, FlowID: 3},
+	}
+	var wire []byte
+	for _, f := range want {
+		wire = AppendFrame(wire, f)
+	}
+	got, rest, err := DecodeFrames(nil, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Errorf("rest = % x, want empty", rest)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("frame %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecodeFramesTrailingPartial(t *testing.T) {
+	wire := AppendFrame(nil, Frame{Type: MsgRequest, FlowID: 1, Value: 1})
+	wire = AppendFrame(wire, Frame{Type: MsgRequest, FlowID: 2, Value: 1})
+	for cut := 0; cut < FrameSize; cut++ {
+		buf := wire[:FrameSize+cut]
+		got, rest, err := DecodeFrames(nil, buf)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("cut %d: decoded %d frames, want 1", cut, len(got))
+		}
+		if len(rest) != cut {
+			t.Errorf("cut %d: rest length %d, want %d", cut, len(rest), cut)
+		}
+	}
+}
+
+func TestDecodeFramesBadFrameMidStream(t *testing.T) {
+	wire := AppendFrame(nil, Frame{Type: MsgRequest, FlowID: 1, Value: 1})
+	bad := len(wire)
+	wire = AppendFrame(wire, Frame{Type: MsgRequest, FlowID: 2, Value: 1})
+	wire[bad] = 0xFF // corrupt frame 1's magic
+	got, rest, err := DecodeFrames(nil, wire)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+	if len(got) != 1 || got[0].FlowID != 1 {
+		t.Errorf("frames before the bad one: %+v, want just flow 1", got)
+	}
+	if len(rest) != FrameSize {
+		t.Errorf("rest length %d, want the bad frame (%d bytes)", len(rest), FrameSize)
+	}
+}
+
+// TestCodecZeroAllocs pins the codec hot paths at zero allocations:
+// AppendFrame into a reusable buffer, WriteFrame to a concrete writer,
+// DecodeFrame, and DecodeFrames into a reusable slice. WriteFrame used to
+// heap-allocate its scratch slice on every call.
+func TestCodecZeroAllocs(t *testing.T) {
+	f := Frame{Type: MsgRequest, FlowID: 42, Value: 3.25}
+	buf := make([]byte, 0, 4*FrameSize)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = AppendFrame(buf[:0], f)
+	}); n != 0 {
+		t.Errorf("AppendFrame: %v allocs/op, want 0", n)
+	}
+	wire := AppendFrame(nil, f)
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeFrame(wire); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeFrame: %v allocs/op, want 0", n)
+	}
+	var batch []byte
+	for i := 0; i < 8; i++ {
+		batch = AppendFrame(batch, f)
+	}
+	frames := make([]Frame, 0, 8)
+	if n := testing.AllocsPerRun(100, func() {
+		var err error
+		frames, _, err = DecodeFrames(frames[:0], batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("DecodeFrames: %v allocs/op, want 0", n)
+	}
+	w := &countingWriter{}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := WriteFrame(w, f); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("WriteFrame: %v allocs/op, want 0", n)
+	}
+	if w.n == 0 {
+		t.Fatal("countingWriter never written to")
+	}
+}
+
+// countingWriter is a concrete io.Writer that keeps WriteFrame's stack
+// buffer from escaping (a bytes.Buffer would devirtualize too, but this
+// makes the intent explicit).
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}

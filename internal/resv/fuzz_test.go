@@ -28,3 +28,52 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeFrames exercises the multi-frame decoder: it must never panic,
+// must agree with frame-at-a-time DecodeFrame on every prefix, and must
+// leave a remainder that is exactly the undecoded tail (partial trailing
+// frame, or everything from the first bad frame on).
+func FuzzDecodeFrames(f *testing.F) {
+	one := AppendFrame(nil, Frame{Type: MsgRequest, FlowID: 1, Value: 1})
+	two := AppendFrame(one, Frame{Type: MsgGrant, FlowID: 2, Value: 0.5})
+	f.Add(two)                   // clean batch
+	f.Add(two[:FrameSize+7])     // split mid-frame
+	f.Add(append([]byte{}, make([]byte, 3)...)) // short garbage
+	corrupt := append([]byte(nil), two...)
+	corrupt[FrameSize] = 0xFF // bad magic in frame k=1
+	f.Add(corrupt)
+	f.Add(append(append([]byte(nil), two...), 0xBE)) // trailing partial
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, rest, err := DecodeFrames(nil, data)
+		// The remainder must be a tail of the input aligned right after
+		// the decoded frames.
+		if len(frames)*FrameSize+len(rest) != len(data) {
+			t.Fatalf("decoded %d frames + rest %d ≠ input %d", len(frames), len(rest), len(data))
+		}
+		// Each decoded frame must match the frame-at-a-time decoder.
+		for i, fr := range frames {
+			want, werr := DecodeFrame(data[i*FrameSize : (i+1)*FrameSize])
+			if werr != nil {
+				t.Fatalf("frame %d: DecodeFrames accepted what DecodeFrame rejects: %v", i, werr)
+			}
+			if fr != want && (fr.Value == fr.Value || want.Value == want.Value) { // NaN-tolerant
+				t.Fatalf("frame %d: %+v vs %+v", i, fr, want)
+			}
+		}
+		switch {
+		case err != nil:
+			// Error ⇒ the remainder starts with a full-size bad frame.
+			if len(rest) < FrameSize {
+				t.Fatalf("error %v with short rest %d", err, len(rest))
+			}
+			if _, werr := DecodeFrame(rest[:FrameSize]); werr == nil {
+				t.Fatalf("error %v but remainder head decodes fine", err)
+			}
+		default:
+			// No error ⇒ only a partial frame may remain.
+			if len(rest) >= FrameSize {
+				t.Fatalf("no error but %d undecoded bytes remain", len(rest))
+			}
+		}
+	})
+}

@@ -1,12 +1,14 @@
 package resv
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"beqos/internal/utility"
@@ -20,6 +22,18 @@ import (
 //   - scoped to their connection — a connection drop releases its flows;
 //   - optionally time-limited — with a TTL configured, reservations expire
 //     unless the client refreshes them (Client.Refresh / Client.KeepAlive).
+//
+// The serving plane is built for throughput (DESIGN.md §8):
+//   - soft state is lock-striped across numShards shards keyed by a hash
+//     of the flow ID, each with its own mutex, flow table, and TTL wheel;
+//   - the admission decision itself is a CAS on a single atomic counter,
+//     so concurrent reserves never over-admit and the reject path (and
+//     Active/Allocated/Stats) never takes a lock;
+//   - TTL expiry is a per-shard hierarchical timing wheel (wheel.go), so a
+//     refresh is an O(1) relink and expiry work is proportional to the
+//     flows actually expiring — not to all flows, as the old map sweep was;
+//   - frame I/O is batched per connection: one read can yield many
+//     requests, and their replies coalesce into one write (flush-on-idle).
 type Server struct {
 	capacity float64
 	kmax     int
@@ -28,11 +42,21 @@ type Server struct {
 	// accounting: a request for rate r is admitted iff allocated + r ≤ C.
 	byBandwidth bool
 
-	mu        sync.Mutex
-	owners    map[uint64]*conn     // flowID → owning connection
-	expires   map[uint64]time.Time // flowID → soft-state deadline (TTL > 0)
-	rates     map[uint64]float64   // flowID → granted rate (bandwidth mode)
-	allocated float64              // Σ granted rates (bandwidth mode)
+	// epoch anchors the wheel's monotonic nanosecond clock; wheelRes is the
+	// level-0 tick width (TTL servers only).
+	epoch    time.Time
+	wheelRes int64
+
+	// active is the number of live reservations. In flow-count mode it is
+	// the admission counter itself: reserve claims a slot with a CAS
+	// bounded by kmax, so racing clients can never over-admit, and a full
+	// link is rejected from the atomic alone, without touching any shard.
+	active atomic.Int64
+	// allocBits holds Σ granted rates as float64 bits (bandwidth mode),
+	// CAS-bounded by capacity the same way.
+	allocBits atomic.Uint64
+
+	shards [numShards]shard
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -42,10 +66,50 @@ type Server struct {
 	Logf func(format string, args ...interface{})
 }
 
+const (
+	// shardBits/numShards fix the lock-stripe width of the soft-state
+	// tables. Shard index is a mixed hash of the flow ID, so sequential
+	// IDs spread evenly across stripes.
+	shardBits = 4
+	numShards = 1 << shardBits
+
+	// readBufSize is the per-connection input buffer — up to ~200 frames
+	// per read syscall. writeFlushThreshold flushes the reply buffer
+	// mid-batch, bounding per-connection memory under deep pipelines.
+	readBufSize         = 4096
+	writeFlushThreshold = 16 * 1024
+
+	// wheelResDivisor sets the TTL wheel's resolution to ttl/256 (floored
+	// at 1ms, like the old sweeper's ticker, so pathological TTLs cannot
+	// busy-loop the expiry goroutine or panic time.NewTicker).
+	wheelResDivisor = 256
+)
+
+// shard is one lock stripe of the soft-state tables.
+type shard struct {
+	mu      sync.Mutex
+	entries map[uint64]*entry
+	free    *entry // spent entry nodes, next-linked, reused by reserves
+	wheel   *wheel // TTL expiry index; nil when the server has no TTL
+}
+
 // conn tracks one client connection's reservations.
 type conn struct {
-	nc    net.Conn
+	nc net.Conn
+	// mu guards flows: the handler goroutine adds and removes, the expiry
+	// goroutine removes (always with the flow's shard lock held first).
+	mu    sync.Mutex
 	flows map[uint64]struct{}
+}
+
+// shardFor picks a flow's stripe by Fibonacci-hashing its ID.
+func (s *Server) shardFor(id uint64) *shard {
+	return &s.shards[(id*0x9e3779b97f4a7c15)>>(64-shardBits)]
+}
+
+// now is the wheel clock: nanoseconds since the server's epoch.
+func (s *Server) now() int64 {
+	return int64(time.Since(s.epoch))
 }
 
 // NewServer returns an admission controller for a link of the given
@@ -57,16 +121,13 @@ func NewServer(capacity float64, util utility.Function) (*Server, error) {
 
 // NewServerTTL is NewServer with RSVP-style soft state: reservations not
 // refreshed within ttl are released. ttl = 0 disables expiry. Servers with
-// a TTL run a background sweeper; call Close when done with them.
+// a TTL run a background expiry goroutine; call Close when done with them.
 func NewServerTTL(capacity float64, util utility.Function, ttl time.Duration) (*Server, error) {
 	if !(capacity > 0) || math.IsInf(capacity, 0) {
 		return nil, fmt.Errorf("resv: capacity must be positive and finite, got %g", capacity)
 	}
 	if util == nil {
 		return nil, fmt.Errorf("resv: utility must be non-nil")
-	}
-	if ttl < 0 {
-		return nil, fmt.Errorf("resv: TTL must be nonnegative, got %v", ttl)
 	}
 	kmax, ok := utility.KMax(util, capacity)
 	if !ok {
@@ -75,19 +136,7 @@ func NewServerTTL(capacity float64, util utility.Function, ttl time.Duration) (*
 	if kmax < 1 {
 		return nil, fmt.Errorf("resv: capacity %g admits no flows (kmax = %d)", capacity, kmax)
 	}
-	s := &Server{
-		capacity: capacity,
-		kmax:     kmax,
-		ttl:      ttl,
-		owners:   make(map[uint64]*conn),
-		expires:  make(map[uint64]time.Time),
-		rates:    make(map[uint64]float64),
-		stop:     make(chan struct{}),
-	}
-	if ttl > 0 {
-		go s.sweep()
-	}
-	return s, nil
+	return buildServer(capacity, kmax, false, ttl)
 }
 
 // NewServerBandwidth returns an admission controller that accounts the
@@ -99,76 +148,50 @@ func NewServerBandwidth(capacity float64, ttl time.Duration) (*Server, error) {
 	if !(capacity > 0) || math.IsInf(capacity, 0) {
 		return nil, fmt.Errorf("resv: capacity must be positive and finite, got %g", capacity)
 	}
+	return buildServer(capacity, 0, true, ttl)
+}
+
+func buildServer(capacity float64, kmax int, byBandwidth bool, ttl time.Duration) (*Server, error) {
 	if ttl < 0 {
 		return nil, fmt.Errorf("resv: TTL must be nonnegative, got %v", ttl)
 	}
 	s := &Server{
 		capacity:    capacity,
-		byBandwidth: true,
+		kmax:        kmax,
 		ttl:         ttl,
-		owners:      make(map[uint64]*conn),
-		expires:     make(map[uint64]time.Time),
-		rates:       make(map[uint64]float64),
+		byBandwidth: byBandwidth,
+		epoch:       time.Now(),
 		stop:        make(chan struct{}),
 	}
+	for i := range s.shards {
+		s.shards[i].entries = make(map[uint64]*entry)
+	}
 	if ttl > 0 {
-		go s.sweep()
+		s.wheelRes = int64(ttl) / wheelResDivisor
+		if s.wheelRes < int64(time.Millisecond) {
+			s.wheelRes = int64(time.Millisecond)
+		}
+		for i := range s.shards {
+			s.shards[i].wheel = newWheel(s.wheelRes)
+		}
+		go s.expireLoop()
 	}
 	return s, nil
 }
 
 // Allocated returns the sum of granted rates (bandwidth mode) or the
-// active reservation count (flow-count mode).
+// active reservation count (flow-count mode). Lock-free: safe to poll at
+// any rate, concurrently with reserves.
 func (s *Server) Allocated() float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.byBandwidth {
-		return s.allocated
+		return math.Float64frombits(s.allocBits.Load())
 	}
-	return float64(len(s.owners))
+	return float64(s.active.Load())
 }
 
-// Close stops the soft-state sweeper (if any). It does not close client
-// connections or the listener.
-func (s *Server) Close() {
-	s.stopOnce.Do(func() { close(s.stop) })
-}
-
-// TTL returns the soft-state lifetime (0 = no expiry).
-func (s *Server) TTL() time.Duration { return s.ttl }
-
-// sweep periodically releases expired reservations.
-func (s *Server) sweep() {
-	// A quarter TTL keeps expiry latency well under one TTL; the floor
-	// keeps time.NewTicker from panicking on sub-4ns TTLs (ttl/4 == 0)
-	// and stops pathological TTLs from turning the sweeper into a busy
-	// loop.
-	period := s.ttl / 4
-	if period < time.Millisecond {
-		period = time.Millisecond
-	}
-	tick := time.NewTicker(period)
-	defer tick.Stop()
-	for {
-		select {
-		case <-s.stop:
-			return
-		case now := <-tick.C:
-			s.mu.Lock()
-			for id, deadline := range s.expires {
-				if now.After(deadline) {
-					if c := s.owners[id]; c != nil {
-						delete(c.flows, id)
-					}
-					delete(s.owners, id)
-					delete(s.expires, id)
-					s.releaseRateLocked(id)
-					s.logf("resv: expired flow %d (active %d)", id, len(s.owners))
-				}
-			}
-			s.mu.Unlock()
-		}
-	}
+// Active returns the current number of reservations. Lock-free.
+func (s *Server) Active() int {
+	return int(s.active.Load())
 }
 
 // Capacity returns the link capacity.
@@ -177,11 +200,44 @@ func (s *Server) Capacity() float64 { return s.capacity }
 // KMax returns the admission threshold.
 func (s *Server) KMax() int { return s.kmax }
 
-// Active returns the current number of reservations.
-func (s *Server) Active() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.owners)
+// TTL returns the soft-state lifetime (0 = no expiry).
+func (s *Server) TTL() time.Duration { return s.ttl }
+
+// Shards returns the lock-stripe width of the soft-state tables.
+func (s *Server) Shards() int { return numShards }
+
+// Close stops the soft-state expiry goroutine (if any). It does not close
+// client connections or the listener.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// expireLoop drives every shard's timing wheel at the wheel resolution.
+// Per tick it does work proportional to the flows actually expiring, plus
+// one O(1) bucket visit per shard — never a scan of all flows.
+func (s *Server) expireLoop() {
+	tick := time.NewTicker(time.Duration(s.wheelRes))
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			now := s.now()
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				sh.wheel.advance(now, func(e *entry) {
+					id := e.id
+					s.removeLocked(sh, e, false)
+					if s.Logf != nil {
+						s.logf("resv: expired flow %d (active %d)", id, s.active.Load())
+					}
+				})
+				sh.mu.Unlock()
+			}
+		}
+	}
 }
 
 // Serve accepts connections on ln until ln is closed. It always returns a
@@ -208,39 +264,83 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
+// handle runs one connection's read→dispatch→reply loop with batched frame
+// I/O: every complete frame buffered by one read is decoded and served,
+// and the replies coalesce into a single write issued when the batch is
+// done (flush-on-idle) or the reply buffer fills. The steady-state
+// reserve→grant path allocates nothing.
 func (s *Server) handle(nc net.Conn) {
 	c := &conn{nc: nc, flows: make(map[uint64]struct{})}
 	defer s.release(c)
+	br := bufio.NewReaderSize(nc, readBufSize)
+	wbuf := make([]byte, 0, 1024)
+	var frames []Frame
 	for {
-		f, err := ReadFrame(nc)
-		if err != nil {
-			// io.EOF is an orderly close from the peer and net.ErrClosed a
-			// local shutdown — neither is an error. Anything else (including
-			// io.ErrUnexpectedEOF, a connection cut mid-frame) is logged.
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		// Block until at least one full frame is buffered.
+		if _, err := br.Peek(FrameSize); err != nil {
+			// io.EOF with an empty buffer is an orderly close from the
+			// peer and net.ErrClosed a local shutdown — neither is an
+			// error. Anything else (including a connection cut mid-frame,
+			// leaving a partial frame buffered) is logged.
+			if s.Logf != nil && !(errors.Is(err, io.EOF) && br.Buffered() == 0) && !errors.Is(err, net.ErrClosed) {
 				s.logf("resv: connection %v closed: %v", nc.RemoteAddr(), err)
 			}
 			return
 		}
-		var reply Frame
-		switch f.Type {
-		case MsgRequest:
-			reply = s.reserve(c, f)
-		case MsgTeardown:
-			reply = s.teardown(c, f)
-		case MsgRefresh:
-			reply = s.refresh(c, f)
-		case MsgStats:
-			s.mu.Lock()
-			reply = Frame{Type: MsgStatsReply, FlowID: uint64(s.kmax), Value: float64(len(s.owners))}
-			s.mu.Unlock()
-		default:
-			reply = Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
-		}
-		if err := WriteFrame(nc, reply); err != nil {
-			s.logf("resv: write to %v failed: %v", nc.RemoteAddr(), err)
+		data, _ := br.Peek(br.Buffered())
+		var rest []byte
+		var derr error
+		frames, rest, derr = DecodeFrames(frames[:0], data)
+		if _, err := br.Discard(len(data) - len(rest)); err != nil {
 			return
 		}
+		for _, f := range frames {
+			wbuf = AppendFrame(wbuf, s.dispatch(c, f))
+			if len(wbuf) >= writeFlushThreshold {
+				if !s.flush(nc, &wbuf) {
+					return
+				}
+			}
+		}
+		// Flush-on-idle: the decoded batch is fully served and the next
+		// read may block, so everything coalesced so far goes out now.
+		if !s.flush(nc, &wbuf) {
+			return
+		}
+		if derr != nil {
+			s.logf("resv: connection %v closed: %v", nc.RemoteAddr(), derr)
+			return
+		}
+	}
+}
+
+// flush writes the coalesced replies in one syscall.
+func (s *Server) flush(nc net.Conn, wbuf *[]byte) bool {
+	if len(*wbuf) == 0 {
+		return true
+	}
+	_, err := nc.Write(*wbuf)
+	*wbuf = (*wbuf)[:0]
+	if err != nil {
+		s.logf("resv: write to %v failed: %v", nc.RemoteAddr(), err)
+		return false
+	}
+	return true
+}
+
+// dispatch serves one frame.
+func (s *Server) dispatch(c *conn, f Frame) Frame {
+	switch f.Type {
+	case MsgRequest:
+		return s.reserve(c, f)
+	case MsgTeardown:
+		return s.teardown(c, f)
+	case MsgRefresh:
+		return s.refresh(c, f)
+	case MsgStats:
+		return Frame{Type: MsgStatsReply, FlowID: uint64(s.kmax), Value: float64(s.active.Load())}
+	default:
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
 	}
 }
 
@@ -249,97 +349,190 @@ func (s *Server) reserve(c *conn, f Frame) Frame {
 	if !(f.Value >= 0) || math.IsInf(f.Value, 0) || (s.byBandwidth && !(f.Value > 0)) {
 		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.owners[f.FlowID]; dup {
-		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
-	}
 	if s.byBandwidth {
-		if s.allocated+f.Value > s.capacity+1e-12 {
-			s.logf("resv: deny flow %d (allocated %g + %g > capacity %g)",
-				f.FlowID, s.allocated, f.Value, s.capacity)
-			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: s.allocated}
-		}
-		s.owners[f.FlowID] = c
-		c.flows[f.FlowID] = struct{}{}
-		s.rates[f.FlowID] = f.Value
-		s.allocated += f.Value
-		if s.ttl > 0 {
-			s.expires[f.FlowID] = time.Now().Add(s.ttl)
-		}
-		s.logf("resv: grant flow %d rate %g (allocated %g/%g)", f.FlowID, f.Value, s.allocated, s.capacity)
-		return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: f.Value}
+		return s.reserveBandwidth(c, f)
 	}
-	if len(s.owners) >= s.kmax {
-		s.logf("resv: deny flow %d (active %d ≥ kmax %d)", f.FlowID, len(s.owners), s.kmax)
-		return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: float64(len(s.owners))}
+	// Admission is a CAS-bounded claim on the active counter: the winners
+	// of a race at the kmax boundary are exactly the first kmax-n claims,
+	// and a full link is denied from the atomic alone — no shard lock.
+	for {
+		cur := s.active.Load()
+		if cur >= int64(s.kmax) {
+			if s.Logf != nil {
+				s.logf("resv: deny flow %d (active %d ≥ kmax %d)", f.FlowID, cur, s.kmax)
+			}
+			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: float64(cur)}
+		}
+		if s.active.CompareAndSwap(cur, cur+1) {
+			break
+		}
 	}
-	s.owners[f.FlowID] = c
-	c.flows[f.FlowID] = struct{}{}
-	if s.ttl > 0 {
-		s.expires[f.FlowID] = time.Now().Add(s.ttl)
+	if !s.install(c, f.FlowID, 0) {
+		s.active.Add(-1) // roll the claimed slot back
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
 	}
 	// The instantaneous share C/min(k, kmax) changes with every arrival and
 	// departure, so a snapshot C/active would be stale the moment another
 	// flow is admitted. Grant the guaranteed worst-case share C/kmax — the
 	// floor the flow keeps no matter how full the link gets.
 	share := s.capacity / float64(s.kmax)
-	s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, len(s.owners), share)
+	if s.Logf != nil {
+		s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, s.active.Load(), share)
+	}
 	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: share}
 }
 
-// releaseRateLocked returns a flow's rate to the pool (bandwidth mode).
-// Callers hold s.mu.
-func (s *Server) releaseRateLocked(id uint64) {
-	if rate, ok := s.rates[id]; ok {
-		s.allocated -= rate
-		if s.allocated < 0 {
-			s.allocated = 0
+// reserveBandwidth admits a request for rate r while Σ rates stays within
+// capacity, claiming the rate with a CAS on the float bits.
+func (s *Server) reserveBandwidth(c *conn, f Frame) Frame {
+	r := f.Value
+	for {
+		old := s.allocBits.Load()
+		cur := math.Float64frombits(old)
+		if cur+r > s.capacity+1e-12 {
+			if s.Logf != nil {
+				s.logf("resv: deny flow %d (allocated %g + %g > capacity %g)", f.FlowID, cur, r, s.capacity)
+			}
+			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: cur}
 		}
-		delete(s.rates, id)
+		if s.allocBits.CompareAndSwap(old, math.Float64bits(cur+r)) {
+			break
+		}
+	}
+	if !s.install(c, f.FlowID, r) {
+		s.releaseRate(r) // roll the claimed rate back
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
+	}
+	s.active.Add(1)
+	if s.Logf != nil {
+		s.logf("resv: grant flow %d rate %g (allocated %g/%g)", f.FlowID, r, math.Float64frombits(s.allocBits.Load()), s.capacity)
+	}
+	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: r}
+}
+
+// install records an admitted flow in its shard (and TTL wheel) and on its
+// owning connection. It reports false on a duplicate flow ID, leaving all
+// state untouched; the caller rolls back its claim.
+func (s *Server) install(c *conn, id uint64, rate float64) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if _, dup := sh.entries[id]; dup {
+		sh.mu.Unlock()
+		return false
+	}
+	e := sh.free
+	if e != nil {
+		sh.free = e.next
+		e.next = nil
+	} else {
+		e = new(entry)
+	}
+	e.id, e.owner, e.rate = id, c, rate
+	sh.entries[id] = e
+	if sh.wheel != nil {
+		e.deadline = s.now() + int64(s.ttl)
+		sh.wheel.insert(e)
+	}
+	c.mu.Lock()
+	c.flows[id] = struct{}{}
+	c.mu.Unlock()
+	sh.mu.Unlock()
+	return true
+}
+
+// removeLocked unrecords a flow: wheel, flow table, owning connection,
+// rate, and the active counter. Callers hold sh.mu; when the entry is
+// being expired by the wheel (wheelLinked = false) it is already unlinked.
+func (s *Server) removeLocked(sh *shard, e *entry, wheelLinked bool) {
+	if wheelLinked && sh.wheel != nil {
+		e.unlink()
+	}
+	delete(sh.entries, e.id)
+	c := e.owner
+	c.mu.Lock()
+	delete(c.flows, e.id)
+	c.mu.Unlock()
+	if s.byBandwidth {
+		s.releaseRate(e.rate)
+	}
+	s.active.Add(-1)
+	e.owner = nil
+	e.next = sh.free
+	sh.free = e
+}
+
+// releaseRate returns a granted rate to the pool (bandwidth mode).
+func (s *Server) releaseRate(r float64) {
+	for {
+		old := s.allocBits.Load()
+		v := math.Float64frombits(old) - r
+		if v < 0 {
+			v = 0
+		}
+		if s.allocBits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
 	}
 }
 
 func (s *Server) teardown(c *conn, f Frame) Frame {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	owner, ok := s.owners[f.FlowID]
-	if !ok || owner != c {
+	sh := s.shardFor(f.FlowID)
+	sh.mu.Lock()
+	e, ok := sh.entries[f.FlowID]
+	if !ok || e.owner != c {
+		sh.mu.Unlock()
 		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeUnknownFlow)}
 	}
-	delete(s.owners, f.FlowID)
-	delete(c.flows, f.FlowID)
-	delete(s.expires, f.FlowID)
-	s.releaseRateLocked(f.FlowID)
-	s.logf("resv: teardown flow %d (active %d)", f.FlowID, len(s.owners))
-	return Frame{Type: MsgTeardownOK, FlowID: f.FlowID, Value: float64(len(s.owners))}
+	s.removeLocked(sh, e, true)
+	sh.mu.Unlock()
+	active := s.active.Load()
+	if s.Logf != nil {
+		s.logf("resv: teardown flow %d (active %d)", f.FlowID, active)
+	}
+	return Frame{Type: MsgTeardownOK, FlowID: f.FlowID, Value: float64(active)}
 }
 
-// refresh renews a reservation's soft-state deadline.
+// refresh renews a reservation's soft-state deadline: an O(1) relink into
+// the wheel bucket owning the new deadline.
 func (s *Server) refresh(c *conn, f Frame) Frame {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	owner, ok := s.owners[f.FlowID]
-	if !ok || owner != c {
+	sh := s.shardFor(f.FlowID)
+	sh.mu.Lock()
+	e, ok := sh.entries[f.FlowID]
+	if !ok || e.owner != c {
+		sh.mu.Unlock()
 		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeUnknownFlow)}
 	}
-	if s.ttl > 0 {
-		s.expires[f.FlowID] = time.Now().Add(s.ttl)
+	if sh.wheel != nil {
+		e.unlink()
+		e.deadline = s.now() + int64(s.ttl)
+		sh.wheel.insert(e)
 	}
+	sh.mu.Unlock()
 	return Frame{Type: MsgRefreshOK, FlowID: f.FlowID, Value: s.ttl.Seconds()}
 }
 
 // release frees every reservation held by a departing connection.
 func (s *Server) release(c *conn) {
 	_ = c.nc.Close()
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	c.mu.Lock()
+	ids := make([]uint64, 0, len(c.flows))
 	for id := range c.flows {
-		delete(s.owners, id)
-		delete(s.expires, id)
-		s.releaseRateLocked(id)
+		ids = append(ids, id)
 	}
-	if n := len(c.flows); n > 0 {
+	c.mu.Unlock()
+	n := 0
+	for _, id := range ids {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		// The flow may have expired or been torn down since the snapshot;
+		// only entries still owned by this connection are released.
+		if e, ok := sh.entries[id]; ok && e.owner == c {
+			s.removeLocked(sh, e, true)
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	if n > 0 {
 		s.logf("resv: released %d reservations from %v", n, c.nc.RemoteAddr())
 	}
 }
