@@ -2,13 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-diff bench-server figures examples cover clean
+.PHONY: all build vet test race check bench bench-diff bench-server figures examples cover cover-gate clean
 
 # Benchmarks the regression gate enforces (see bench-diff): the simulator
 # validation runs, the enforcement loop, the SCFQ hot path, and the
 # admission-server throughput suite (ns/op and allocs/op — the serving
 # plane's reserve→grant path must stay at 0 allocs/op).
 BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput
+
+# Packages with concurrency worth racing: the single source of truth for
+# both `make race` and CI (which calls `make race`), so the two can never
+# drift apart again.
+RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ .
+
+# Coverage floor (percent) enforced by cover-gate on the serving and
+# observability planes.
+COVER_PKGS  = ./internal/resv/ ./internal/obs/
+COVER_FLOOR = 70
 
 all: build vet test
 
@@ -22,7 +32,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/resv/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ .
+	$(GO) test -race $(RACE_PKGS)
 
 # Full pre-merge gate: vet plus the race-enabled test suite.
 check: vet race
@@ -60,5 +70,16 @@ examples:
 cover:
 	$(GO) test -cover ./...
 
+# Coverage gate for the serving + observability planes: writes cover.out
+# (CI uploads it as an artifact) and fails below the COVER_FLOOR.
+cover-gate:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	if awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN {exit !(t >= f)}'; then \
+		echo "coverage $$total% meets the $(COVER_FLOOR)% floor"; \
+	else \
+		echo "coverage $$total% is below the $(COVER_FLOOR)% floor"; exit 1; \
+	fi
+
 clean:
-	rm -rf out test_output.txt bench_output.txt
+	rm -rf out test_output.txt bench_output.txt cover.out

@@ -3,8 +3,10 @@ package beqos
 import (
 	"context"
 	"net"
+	"net/http"
 	"time"
 
+	"beqos/internal/obs"
 	"beqos/internal/resv"
 )
 
@@ -76,6 +78,15 @@ func (a *AdmissionServer) Shards() int { return a.s.Shards() }
 // SetLogf installs a logging callback for protocol events.
 func (a *AdmissionServer) SetLogf(logf func(format string, args ...interface{})) {
 	a.s.Logf = logf
+}
+
+// DebugHandler returns the server's observability endpoints — /metrics
+// (Prometheus text, or JSON with ?format=json), /metrics.json, /healthz and
+// /debug/pprof/* — ready to mount on any listener (see `beqos serve
+// -debug-addr`). The underlying instruments are lock-free; scraping them
+// never perturbs the admission path.
+func (a *AdmissionServer) DebugHandler() http.Handler {
+	return obs.DebugMux(a.s.Registry())
 }
 
 // AdmissionClient requests reservations from an AdmissionServer.

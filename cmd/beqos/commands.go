@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -240,6 +241,7 @@ func cmdServe(args []string) error {
 	utilName := fs.String("util", "rigid", "utility function: rigid, adaptive")
 	ttl := fs.Duration("ttl", 0, "soft-state TTL: unrefreshed reservations expire (0 = never)")
 	quiet := fs.Bool("quiet", false, "suppress per-event logging")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -269,9 +271,22 @@ func cmdServe(args []string) error {
 		ln.Addr(), *capacity, srv.KMax(), srv.Shards(), ttlNote)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	var dln net.Listener
+	if *debugAddr != "" {
+		dln, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("beqos: observability on http://%s (/metrics, /healthz, /debug/pprof/)\n", dln.Addr())
+		go func() { _ = http.Serve(dln, srv.DebugHandler()) }()
+	}
 	go func() {
 		<-ctx.Done()
 		_ = ln.Close()
+		if dln != nil {
+			_ = dln.Close()
+		}
 	}()
 	err = srv.Serve(ln)
 	if ctx.Err() != nil {

@@ -114,8 +114,20 @@ func cmdLoad(args []string) error {
 	}
 	lat := res.Latency
 	fmt.Printf("\nlatency: %d rpcs  p50 %v  p95 %v  p99 %v  max %v  (wall %v)\n",
-		lat.Count(), latDur(lat.Quantile(0.5)), latDur(lat.Quantile(0.95)),
-		latDur(lat.Quantile(0.99)), latDur(lat.Max()), res.Elapsed.Round(time.Millisecond))
+		lat.Count, latDur(lat.Quantile(0.5)), latDur(lat.Quantile(0.95)),
+		latDur(lat.Quantile(0.99)), latDur(lat.Max), res.Elapsed.Round(time.Millisecond))
+
+	// For an in-process run the server's /metrics instruments must agree
+	// with the harness's client-side tallies — the same conservation law an
+	// operator would check by scraping a live server.
+	if cfg.Server != nil {
+		sm := cfg.Server.Metrics()
+		if g, d := int(sm.Grants.Load()), int(sm.Denials.Load()); g != res.Grants || d != res.Denied {
+			return fmt.Errorf("server /metrics disagree with the harness: grants %d vs %d, denials %d vs %d",
+				g, res.Grants, d, res.Denied)
+		}
+		fmt.Printf("server /metrics agree: grants %d, denials %d\n", res.Grants, res.Denied)
+	}
 
 	if *probeTTL > 0 {
 		pcfg := loadgen.ProbeConfig{Addr: *addr}
@@ -148,7 +160,7 @@ func cmdLoad(args []string) error {
 	return nil
 }
 
-// latDur renders a latency histogram value (seconds) as a duration.
-func latDur(sec float64) time.Duration {
-	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond)
+// latDur renders a latency histogram value (nanoseconds) as a duration.
+func latDur(ns uint64) time.Duration {
+	return time.Duration(ns).Round(time.Microsecond)
 }

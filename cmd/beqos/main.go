@@ -9,7 +9,7 @@
 //	beqos gamma   -load algebraic -util rigid -pmin 0.001 -pmax 0.5
 //	beqos fixedload -capacity 100 -util adaptive
 //	beqos sim     -capacity 120 -rate 10 -hold 10 -reserve
-//	beqos serve   -addr :4742 -capacity 8
+//	beqos serve   -addr :4742 -capacity 8 -debug-addr :4743
 //	beqos reserve -addr localhost:4742 -flows 12
 //	beqos load    -capacity 100 -util adaptive -mean 100 -probe-ttl 250ms
 //
@@ -77,7 +77,8 @@ Commands:
   plot      render B/R or Δ curves as an ASCII chart
   extension evaluate the §5 sampling or retrying extension at a capacity
   sim       run the flow-level simulator on one link
-  serve     run a reservation admission-control server
+  serve     run a reservation admission-control server (-debug-addr serves
+            /metrics, /healthz and /debug/pprof)
   reserve   request reservations from a running server
   load      drive an admission server with Poisson load and cross-validate
             the measured blocking and utility against the analytical model

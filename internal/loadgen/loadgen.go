@@ -27,7 +27,7 @@ import (
 	"sort"
 	"time"
 
-	"beqos/internal/report"
+	"beqos/internal/obs"
 	"beqos/internal/resv"
 	"beqos/internal/rng"
 	"beqos/internal/sim"
@@ -180,8 +180,11 @@ type Result struct {
 	// (index k = time spent with k flows present), ready for EmpiricalLoad.
 	OccupancyWeights []float64
 
-	// Latency collects wall-clock protocol round-trip times in seconds.
-	Latency *report.Histogram
+	// Latency is the wall-clock protocol round-trip-time distribution in
+	// nanoseconds, snapshotted from the endpoint pool's shared
+	// resv.ClientMetrics RTT histogram (the same instrument a remote
+	// harness would scrape from /metrics).
+	Latency obs.HistSnapshot
 
 	// FinalActive is the server's reservation count after cleanup (0 on a
 	// correct server: every grant was matched by a teardown or release).
@@ -209,6 +212,12 @@ type runner struct {
 	src   *rng.Source
 	eps   []*endpoint
 	share float64 // expected grant share C/kmax
+
+	// cm is the endpoint pool's shared instrument set; every protocol
+	// round trip lands here, and finish() derives the Result's attempt,
+	// outcome, retry and latency statistics from it instead of bespoke
+	// per-call-site tallies.
+	cm *resv.ClientMetrics
 
 	kmax     int
 	nextID   uint64
@@ -254,7 +263,7 @@ func Run(cfg Config) (*Result, error) {
 		firstAtt: make([]float64, batches),
 		firstDen: make([]float64, batches),
 	}
-	r.res.Latency = report.NewLatencyHistogram()
+	r.cm = resv.NewClientMetrics(obs.New())
 	for i := 0; i < c.Conns; i++ {
 		ep, err := r.connect()
 		if err != nil {
@@ -365,12 +374,13 @@ func dial(server *resv.Server, network, addr string) (*resv.Client, error) {
 	return resv.Dial(ctx, network, addr)
 }
 
-// connect opens one harness endpoint.
+// connect opens one harness endpoint wired into the shared instrument set.
 func (r *runner) connect() (*endpoint, error) {
 	c, err := dial(r.cfg.Server, r.cfg.Network, r.cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
+	c.SetMetrics(r.cm)
 	return &endpoint{client: c, reserved: make(map[uint64]*flow)}, nil
 }
 
@@ -382,10 +392,7 @@ func rpcCtx() (context.Context, context.CancelFunc) {
 func (r *runner) stats() (int, int, error) {
 	ctx, cancel := rpcCtx()
 	defer cancel()
-	t0 := time.Now()
-	kmax, active, err := r.eps[0].client.Stats(ctx)
-	r.res.Latency.Record(time.Since(t0).Seconds())
-	return kmax, active, err
+	return r.eps[0].client.Stats(ctx)
 }
 
 // inWindow reports whether the current instant is measured, and its batch.
@@ -476,33 +483,19 @@ func (r *runner) request(f *flow) bool {
 	var ok bool
 	var share float64
 	var err error
-	t0 := time.Now()
 	if r.cfg.RetryAttempts > 1 {
-		var retries int
-		ok, share, retries, err = ep.client.ReserveWithRetry(ctx, f.id, 1, resv.RetryPolicy{
+		ok, share, _, err = ep.client.ReserveWithRetry(ctx, f.id, 1, resv.RetryPolicy{
 			MaxAttempts: r.cfg.RetryAttempts,
 			Multiplier:  1,
 		})
-		r.res.Retries += retries
-		r.res.Attempts += retries + 1
-		r.res.Denied += retries
-		if !ok {
-			r.res.Denied++
-		}
 	} else {
 		ok, share, err = ep.client.Reserve(ctx, f.id, 1)
-		r.res.Attempts++
-		if !ok && err == nil {
-			r.res.Denied++
-		}
 	}
-	r.res.Latency.Record(time.Since(t0).Seconds())
 	if err != nil {
 		r.err = fmt.Errorf("loadgen: reserve flow %d: %w", f.id, err)
 		return false
 	}
 	if ok {
-		r.res.Grants++
 		if r.nres >= r.kmax {
 			r.res.Anomalies++ // grant beyond the admission threshold
 		}
@@ -523,13 +516,9 @@ func (r *runner) teardown(f *flow) error {
 	ep := r.eps[f.conn]
 	ctx, cancel := rpcCtx()
 	defer cancel()
-	t0 := time.Now()
-	err := ep.client.Teardown(ctx, f.id)
-	r.res.Latency.Record(time.Since(t0).Seconds())
-	if err != nil {
+	if err := ep.client.Teardown(ctx, f.id); err != nil {
 		return fmt.Errorf("loadgen: teardown flow %d: %w", f.id, err)
 	}
-	r.res.Teardowns++
 	f.reserved = false
 	r.nres--
 	delete(ep.reserved, f.id)
@@ -682,8 +671,15 @@ func ratio(num, den []float64) (v, sigma float64) {
 	return v, sigma
 }
 
-// finish derives the summary statistics from the batch accumulators.
+// finish derives the summary statistics from the batch accumulators and
+// the shared client instruments.
 func (r *runner) finish() {
+	r.res.Attempts = int(r.cm.Requests.Load())
+	r.res.Denied = int(r.cm.Denials.Load())
+	r.res.Grants = int(r.cm.Grants.Load())
+	r.res.Teardowns = int(r.cm.Teardowns.Load())
+	r.res.Retries = int(r.cm.Retries.Load())
+	r.res.Latency = r.cm.RTT.Snapshot()
 	r.res.OverloadFraction, r.res.OverloadSigma = ratio(r.overload, r.time)
 	r.res.DenyRate, r.res.DenySigma = ratio(r.firstDen, r.firstAtt)
 	r.res.MeanUtility, r.res.UtilitySigma = ratio(r.utilInt, r.popInt)

@@ -84,8 +84,13 @@ func TestLoadHarnessMatchesModel(t *testing.T) {
 	if z := math.Abs(res.MeanUtility-m.Reservation(c)) / res.UtilitySigma; z > 3 {
 		t.Errorf("mean utility %.4f is %.1fσ from R(C) = %.4f", res.MeanUtility, z, m.Reservation(c))
 	}
-	if res.Latency.Count() == 0 {
+	if res.Latency.Count == 0 {
 		t.Error("latency histogram is empty")
+	}
+	// The harness's counters are the shared client instrument set read out;
+	// they must satisfy the protocol's own conservation law.
+	if res.Grants != res.Attempts-res.Denied {
+		t.Errorf("grants = %d, want attempts − denied = %d", res.Grants, res.Attempts-res.Denied)
 	}
 }
 

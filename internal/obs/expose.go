@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus writes the registry's current state in the Prometheus
+// text exposition format (version 0.0.4). Histograms are emitted as
+// cumulative `_bucket{le="..."}` series with `_sum` and `_count`; bucket
+// edges are the power-of-two upper bounds, in the instrument's native unit
+// (the serving plane records nanoseconds and frames; metric names carry
+// the unit suffix).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, sanitizeHelp(m.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+			return err
+		}
+		if m.Kind != KindHistogram {
+			if _, err := fmt.Fprintf(w, "%s %g\n", m.Name, m.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		h := m.Hist
+		var cum uint64
+		for i, n := range h.Buckets {
+			cum += n
+			// Skip empty leading/intermediate buckets that add no
+			// information: emit a bucket only when its count changes the
+			// cumulative total (plus the mandatory +Inf below).
+			if n == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m.Name, bucketUpper(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.Name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", m.Name, h.Sum, m.Name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeHelp keeps HELP lines single-line.
+func sanitizeHelp(s string) string {
+	return strings.NewReplacer("\n", " ", "\\", `\\`).Replace(s)
+}
+
+// jsonHist is the JSON shape of a histogram snapshot.
+type jsonHist struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+}
+
+// WriteJSON writes the registry's current state as a single JSON object
+// keyed by metric name — the expvar convention, so existing debug-vars
+// tooling can scrape it. Counters and gauges map to numbers, histograms to
+// {count, sum, max, mean, p50, p95, p99} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := make(map[string]interface{})
+	for _, m := range r.Snapshot() {
+		if m.Kind != KindHistogram {
+			out[m.Name] = m.Value
+			continue
+		}
+		h := m.Hist
+		out[m.Name] = jsonHist{
+			Count: h.Count,
+			Sum:   h.Sum,
+			Max:   h.Max,
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

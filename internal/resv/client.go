@@ -20,6 +20,9 @@ type Client struct {
 	// array would escape through the net.Conn interface call; these keep
 	// the steady-state round trip at zero allocations.
 	wbuf, rbuf [FrameSize]byte
+	// metrics, if non-nil, observes every round trip (atomics-only; a set
+	// may be shared across clients). Install with SetMetrics before use.
+	metrics *ClientMetrics
 }
 
 // Dial connects to a resv server at the given network address.
@@ -40,6 +43,10 @@ func NewClient(nc net.Conn) *Client {
 // Close tears down the connection; the server releases all reservations
 // held through it.
 func (c *Client) Close() error { return c.nc.Close() }
+
+// SetMetrics installs a client instrument set (see NewClientMetrics); nil
+// disables instrumentation. Not safe to call concurrently with requests.
+func (c *Client) SetMetrics(m *ClientMetrics) { c.metrics = m }
 
 // writeFrame and readFrame are WriteFrame/ReadFrame through the client's
 // scratch buffers. Callers hold c.mu.
@@ -73,12 +80,29 @@ func (c *Client) roundTrip(ctx context.Context, req Frame) (reply Frame, sent bo
 	if err := ctx.Err(); err != nil {
 		return Frame{}, false, err
 	}
+	// Clock reads only when instrumented: the uninstrumented round trip
+	// stays free of time syscalls.
+	var t0 time.Time
+	if c.metrics != nil {
+		t0 = time.Now()
+	}
 	if err := c.writeFrame(req); err != nil {
-		return Frame{}, false, fmt.Errorf("resv: send %s: %w", req.Type, err)
+		err = fmt.Errorf("resv: send %s: %w", req.Type, err)
+		if c.metrics != nil {
+			c.metrics.observe(req, Frame{}, 0, err)
+		}
+		return Frame{}, false, err
 	}
 	reply, err = c.readFrame()
 	if err != nil {
-		return Frame{}, true, fmt.Errorf("resv: awaiting reply to %s: %w", req.Type, err)
+		err = fmt.Errorf("resv: awaiting reply to %s: %w", req.Type, err)
+		if c.metrics != nil {
+			c.metrics.observe(req, Frame{}, 0, err)
+		}
+		return Frame{}, true, err
+	}
+	if c.metrics != nil {
+		c.metrics.observe(req, reply, time.Since(t0), nil)
 	}
 	return reply, true, nil
 }
@@ -247,6 +271,9 @@ func (c *Client) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth 
 		}
 		if attempt >= policy.MaxAttempts {
 			return false, 0, attempt - 1, nil
+		}
+		if c.metrics != nil {
+			c.metrics.Retries.Inc()
 		}
 		d := delay
 		if policy.Jitter > 0 && d > 0 {

@@ -36,8 +36,8 @@ func FuzzDecodeFrame(f *testing.F) {
 func FuzzDecodeFrames(f *testing.F) {
 	one := AppendFrame(nil, Frame{Type: MsgRequest, FlowID: 1, Value: 1})
 	two := AppendFrame(one, Frame{Type: MsgGrant, FlowID: 2, Value: 0.5})
-	f.Add(two)                   // clean batch
-	f.Add(two[:FrameSize+7])     // split mid-frame
+	f.Add(two)                                  // clean batch
+	f.Add(two[:FrameSize+7])                    // split mid-frame
 	f.Add(append([]byte{}, make([]byte, 3)...)) // short garbage
 	corrupt := append([]byte(nil), two...)
 	corrupt[FrameSize] = 0xFF // bad magic in frame k=1

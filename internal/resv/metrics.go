@@ -1,0 +1,231 @@
+package resv
+
+import (
+	"time"
+
+	"beqos/internal/obs"
+)
+
+// ServerMetrics is the admission plane's instrument set, always on: every
+// Server owns one, registered in its private obs.Registry (Server.Registry
+// serves it at /metrics). All instruments are atomics; the reserve→grant
+// hot path updates them with one batched flush per decoded frame batch, so
+// instrumentation adds no allocation and no per-frame clock reads.
+type ServerMetrics struct {
+	// Reserves counts admission requests (MsgRequest frames); Grants and
+	// Denials partition their outcomes (plus Errors for malformed or
+	// duplicate requests).
+	Reserves *obs.Counter
+	Grants   *obs.Counter
+	Denials  *obs.Counter
+	// Teardowns counts explicit MsgTeardown releases; Releases counts
+	// flows released implicitly by a connection drop; Expiries counts
+	// soft-state TTL expirations.
+	Teardowns *obs.Counter
+	Releases  *obs.Counter
+	Expiries  *obs.Counter
+	// Refreshes and Stats count the remaining request types; Errors counts
+	// MsgError replies of any cause.
+	Refreshes *obs.Counter
+	Stats     *obs.Counter
+	Errors    *obs.Counter
+	// Connections tracks live client connections.
+	Connections *obs.Gauge
+	// BatchFrames is the frames-per-read-batch histogram — the batched
+	// frame I/O's coalescing factor. RequestNS is the per-request service
+	// time in nanoseconds (decode + dispatch, amortized over the batch).
+	BatchFrames *obs.Histogram
+	RequestNS   *obs.Histogram
+}
+
+// newServerMetrics registers the server instrument set in reg.
+func newServerMetrics(reg *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Reserves:    reg.Counter("resv_reserves_total", "admission requests received"),
+		Grants:      reg.Counter("resv_grants_total", "reservations granted"),
+		Denials:     reg.Counter("resv_denials_total", "reservations denied (link full)"),
+		Teardowns:   reg.Counter("resv_teardowns_total", "explicit teardowns"),
+		Releases:    reg.Counter("resv_releases_total", "flows released by connection drops"),
+		Expiries:    reg.Counter("resv_expiries_total", "soft-state TTL expirations"),
+		Refreshes:   reg.Counter("resv_refreshes_total", "soft-state refreshes"),
+		Stats:       reg.Counter("resv_stats_total", "stats requests"),
+		Errors:      reg.Counter("resv_errors_total", "error replies"),
+		Connections: reg.Gauge("resv_connections", "live client connections"),
+		BatchFrames: reg.Histogram("resv_batch_frames", "frames per decoded read batch"),
+		RequestNS:   reg.Histogram("resv_request_ns", "per-request service time, nanoseconds"),
+	}
+}
+
+// batchStats tallies one frame batch's outcomes in plain locals; the
+// handler flushes them to the shared atomics once per batch, keeping the
+// per-frame cost at zero even under heavy pipelining.
+type batchStats struct {
+	reserves, grants, denials         uint64
+	teardowns, refreshes, stats, errs uint64
+}
+
+// count classifies one dispatched request/reply pair.
+func (b *batchStats) count(req, reply Frame) {
+	if req.Type == MsgRequest {
+		b.reserves++
+	}
+	switch reply.Type {
+	case MsgGrant:
+		b.grants++
+	case MsgDeny:
+		b.denials++
+	case MsgTeardownOK:
+		b.teardowns++
+	case MsgRefreshOK:
+		b.refreshes++
+	case MsgStatsReply:
+		b.stats++
+	case MsgError:
+		b.errs++
+	}
+}
+
+// flushBatch folds one batch into the shared instruments: one atomic add
+// per touched counter, one histogram sample for the batch size, and the
+// batch's service time spread evenly over its frames (RecordN — a single
+// atomic add).
+func (m *ServerMetrics) flushBatch(b *batchStats, nframes int, elapsed time.Duration) {
+	if nframes <= 0 {
+		return
+	}
+	m.BatchFrames.Record(uint64(nframes))
+	m.RequestNS.RecordN(uint64(elapsed)/uint64(nframes), uint64(nframes))
+	if b.reserves > 0 {
+		m.Reserves.Add(b.reserves)
+	}
+	if b.grants > 0 {
+		m.Grants.Add(b.grants)
+	}
+	if b.denials > 0 {
+		m.Denials.Add(b.denials)
+	}
+	if b.teardowns > 0 {
+		m.Teardowns.Add(b.teardowns)
+	}
+	if b.refreshes > 0 {
+		m.Refreshes.Add(b.refreshes)
+	}
+	if b.stats > 0 {
+		m.Stats.Add(b.stats)
+	}
+	if b.errs > 0 {
+		m.Errors.Add(b.errs)
+	}
+	*b = batchStats{}
+}
+
+// ClientMetrics instruments a Client (or several sharing one set): request
+// and outcome counts, retry attempts, and the round-trip-time histogram.
+// All updates are atomic, so one set may be shared across connections —
+// the loadgen harness aggregates its whole endpoint pool this way.
+type ClientMetrics struct {
+	Requests  *obs.Counter // reservation requests sent
+	Grants    *obs.Counter
+	Denials   *obs.Counter
+	Teardowns *obs.Counter
+	Refreshes *obs.Counter
+	Retries   *obs.Counter // retry attempts performed by ReserveWithRetry
+	Errors    *obs.Counter // MsgError replies
+	Failures  *obs.Counter // transport-level round-trip failures
+	RTT       *obs.Histogram
+}
+
+// NewClientMetrics registers a client instrument set in reg.
+func NewClientMetrics(reg *obs.Registry) *ClientMetrics {
+	return &ClientMetrics{
+		Requests:  reg.Counter("resv_client_requests_total", "reservation requests sent"),
+		Grants:    reg.Counter("resv_client_grants_total", "grants received"),
+		Denials:   reg.Counter("resv_client_denials_total", "denials received"),
+		Teardowns: reg.Counter("resv_client_teardowns_total", "teardown confirmations received"),
+		Refreshes: reg.Counter("resv_client_refreshes_total", "refresh confirmations received"),
+		Retries:   reg.Counter("resv_client_retries_total", "retry attempts performed"),
+		Errors:    reg.Counter("resv_client_errors_total", "error replies received"),
+		Failures:  reg.Counter("resv_client_failures_total", "transport round-trip failures"),
+		RTT:       reg.Histogram("resv_client_rtt_ns", "request round-trip time, nanoseconds"),
+	}
+}
+
+// observe classifies one round trip.
+func (m *ClientMetrics) observe(req, reply Frame, rtt time.Duration, err error) {
+	if req.Type == MsgRequest {
+		m.Requests.Inc()
+	}
+	if err != nil {
+		m.Failures.Inc()
+		return
+	}
+	m.RTT.Record(uint64(rtt))
+	switch reply.Type {
+	case MsgGrant:
+		m.Grants.Inc()
+	case MsgDeny:
+		m.Denials.Inc()
+	case MsgTeardownOK:
+		m.Teardowns.Inc()
+	case MsgRefreshOK:
+		m.Refreshes.Inc()
+	case MsgError:
+		m.Errors.Inc()
+	}
+}
+
+// TraceKind tags a TraceEvent with the admission-path decision it reports.
+type TraceKind uint8
+
+const (
+	// TraceGrant and TraceDeny report admission decisions; Value carries
+	// the granted share (or rate) and the active count respectively.
+	TraceGrant TraceKind = iota + 1
+	TraceDeny
+	// TraceTeardown reports an explicit release, TraceExpire a soft-state
+	// TTL expiry, TraceRelease a connection-scoped release.
+	TraceTeardown
+	TraceExpire
+	TraceRelease
+	// TraceRefresh reports a soft-state renewal.
+	TraceRefresh
+	// TraceError reports an error reply (bad request, duplicate flow,
+	// unknown flow); Value carries the ErrorCode.
+	TraceError
+)
+
+// String implements fmt.Stringer.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceGrant:
+		return "grant"
+	case TraceDeny:
+		return "deny"
+	case TraceTeardown:
+		return "teardown"
+	case TraceExpire:
+		return "expire"
+	case TraceRelease:
+		return "release"
+	case TraceRefresh:
+		return "refresh"
+	case TraceError:
+		return "error"
+	default:
+		return "trace(?)"
+	}
+}
+
+// TraceEvent is one admission-path decision, delivered synchronously to
+// the Server.Trace hook. The struct is passed by value — installing a hook
+// adds a call and a branch to the hot path but no allocation, so tests and
+// the load harness can observe decisions without log scraping.
+type TraceEvent struct {
+	Kind   TraceKind
+	FlowID uint64
+	// Value is kind-dependent: the granted share or rate (grant), the
+	// active count at denial (deny), or the ErrorCode (error).
+	Value float64
+	// Active is the live reservation count after the event.
+	Active int64
+}

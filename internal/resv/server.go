@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"beqos/internal/obs"
 	"beqos/internal/utility"
 )
 
@@ -58,12 +59,24 @@ type Server struct {
 
 	shards [numShards]shard
 
+	// reg/metrics are the server's observability plane (DESIGN.md §9):
+	// always on, atomics-only, flushed once per frame batch on the hot
+	// path. Registry serves them at /metrics.
+	reg     *obs.Registry
+	metrics *ServerMetrics
+
 	stop     chan struct{}
 	stopOnce sync.Once
 
 	// Logf, if non-nil, receives one line per protocol event; defaults to
 	// silent. Set before calling Serve.
 	Logf func(format string, args ...interface{})
+
+	// Trace, if non-nil, receives one TraceEvent per admission-path
+	// decision (grant, deny, teardown, refresh, expire, release, error),
+	// synchronously from the serving goroutine. The hook must be fast and
+	// must not call back into the server. Set before calling Serve.
+	Trace func(TraceEvent)
 }
 
 const (
@@ -162,7 +175,16 @@ func buildServer(capacity float64, kmax int, byBandwidth bool, ttl time.Duration
 		byBandwidth: byBandwidth,
 		epoch:       time.Now(),
 		stop:        make(chan struct{}),
+		reg:         obs.New(),
 	}
+	s.metrics = newServerMetrics(s.reg)
+	s.reg.GaugeFunc("resv_active_flows", "live reservations", func() float64 {
+		return float64(s.active.Load())
+	})
+	s.reg.GaugeFunc("resv_allocated", "granted rate sum (bandwidth mode) or active count", s.Allocated)
+	s.reg.GaugeFunc("resv_capacity", "link capacity C", func() float64 { return s.capacity })
+	s.reg.GaugeFunc("resv_kmax", "admission threshold kmax(C)", func() float64 { return float64(s.kmax) })
+	s.reg.GaugeFunc("resv_shards", "soft-state lock stripes", func() float64 { return numShards })
 	for i := range s.shards {
 		s.shards[i].entries = make(map[uint64]*entry)
 	}
@@ -206,6 +228,14 @@ func (s *Server) TTL() time.Duration { return s.ttl }
 // Shards returns the lock-stripe width of the soft-state tables.
 func (s *Server) Shards() int { return numShards }
 
+// Metrics returns the server's instrument set. Counters may be read at
+// any time (atomic loads); they are updated with per-batch granularity.
+func (s *Server) Metrics() *ServerMetrics { return s.metrics }
+
+// Registry returns the server's metrics registry, for snapshotting or
+// mounting at /metrics (obs.DebugMux).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
 // Close stops the soft-state expiry goroutine (if any). It does not close
 // client connections or the listener.
 func (s *Server) Close() {
@@ -230,6 +260,10 @@ func (s *Server) expireLoop() {
 				sh.wheel.advance(now, func(e *entry) {
 					id := e.id
 					s.removeLocked(sh, e, false)
+					s.metrics.Expiries.Inc()
+					if s.Trace != nil {
+						s.Trace(TraceEvent{Kind: TraceExpire, FlowID: id, Active: s.active.Load()})
+					}
 					if s.Logf != nil {
 						s.logf("resv: expired flow %d (active %d)", id, s.active.Load())
 					}
@@ -272,9 +306,12 @@ func (s *Server) logf(format string, args ...interface{}) {
 func (s *Server) handle(nc net.Conn) {
 	c := &conn{nc: nc, flows: make(map[uint64]struct{})}
 	defer s.release(c)
+	s.metrics.Connections.Inc()
+	defer s.metrics.Connections.Dec()
 	br := bufio.NewReaderSize(nc, readBufSize)
 	wbuf := make([]byte, 0, 1024)
 	var frames []Frame
+	var bs batchStats
 	for {
 		// Block until at least one full frame is buffered.
 		if _, err := br.Peek(FrameSize); err != nil {
@@ -294,14 +331,22 @@ func (s *Server) handle(nc net.Conn) {
 		if _, err := br.Discard(len(data) - len(rest)); err != nil {
 			return
 		}
+		// Instrumentation is batch-granular: outcomes tally into plain
+		// locals and flush as one set of atomic adds per batch; the two
+		// clock reads amortize over every frame the batch coalesced.
+		t0 := time.Now()
 		for _, f := range frames {
-			wbuf = AppendFrame(wbuf, s.dispatch(c, f))
+			reply := s.dispatch(c, f)
+			bs.count(f, reply)
+			wbuf = AppendFrame(wbuf, reply)
 			if len(wbuf) >= writeFlushThreshold {
 				if !s.flush(nc, &wbuf) {
+					s.metrics.flushBatch(&bs, len(frames), time.Since(t0))
 					return
 				}
 			}
 		}
+		s.metrics.flushBatch(&bs, len(frames), time.Since(t0))
 		// Flush-on-idle: the decoded batch is fully served and the next
 		// read may block, so everything coalesced so far goes out now.
 		if !s.flush(nc, &wbuf) {
@@ -347,6 +392,9 @@ func (s *Server) dispatch(c *conn, f Frame) Frame {
 // reserve runs admission control for one request.
 func (s *Server) reserve(c *conn, f Frame) Frame {
 	if !(f.Value >= 0) || math.IsInf(f.Value, 0) || (s.byBandwidth && !(f.Value > 0)) {
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest), Active: s.active.Load()})
+		}
 		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
 	}
 	if s.byBandwidth {
@@ -358,6 +406,9 @@ func (s *Server) reserve(c *conn, f Frame) Frame {
 	for {
 		cur := s.active.Load()
 		if cur >= int64(s.kmax) {
+			if s.Trace != nil {
+				s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: float64(cur), Active: cur})
+			}
 			if s.Logf != nil {
 				s.logf("resv: deny flow %d (active %d ≥ kmax %d)", f.FlowID, cur, s.kmax)
 			}
@@ -369,6 +420,9 @@ func (s *Server) reserve(c *conn, f Frame) Frame {
 	}
 	if !s.install(c, f.FlowID, 0) {
 		s.active.Add(-1) // roll the claimed slot back
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.active.Load()})
+		}
 		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
 	}
 	// The instantaneous share C/min(k, kmax) changes with every arrival and
@@ -376,6 +430,9 @@ func (s *Server) reserve(c *conn, f Frame) Frame {
 	// flow is admitted. Grant the guaranteed worst-case share C/kmax — the
 	// floor the flow keeps no matter how full the link gets.
 	share := s.capacity / float64(s.kmax)
+	if s.Trace != nil {
+		s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: share, Active: s.active.Load()})
+	}
 	if s.Logf != nil {
 		s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, s.active.Load(), share)
 	}
@@ -390,6 +447,9 @@ func (s *Server) reserveBandwidth(c *conn, f Frame) Frame {
 		old := s.allocBits.Load()
 		cur := math.Float64frombits(old)
 		if cur+r > s.capacity+1e-12 {
+			if s.Trace != nil {
+				s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: cur, Active: s.active.Load()})
+			}
 			if s.Logf != nil {
 				s.logf("resv: deny flow %d (allocated %g + %g > capacity %g)", f.FlowID, cur, r, s.capacity)
 			}
@@ -401,9 +461,15 @@ func (s *Server) reserveBandwidth(c *conn, f Frame) Frame {
 	}
 	if !s.install(c, f.FlowID, r) {
 		s.releaseRate(r) // roll the claimed rate back
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.active.Load()})
+		}
 		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
 	}
 	s.active.Add(1)
+	if s.Trace != nil {
+		s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: r, Active: s.active.Load()})
+	}
 	if s.Logf != nil {
 		s.logf("resv: grant flow %d rate %g (allocated %g/%g)", f.FlowID, r, math.Float64frombits(s.allocBits.Load()), s.capacity)
 	}
@@ -486,6 +552,9 @@ func (s *Server) teardown(c *conn, f Frame) Frame {
 	s.removeLocked(sh, e, true)
 	sh.mu.Unlock()
 	active := s.active.Load()
+	if s.Trace != nil {
+		s.Trace(TraceEvent{Kind: TraceTeardown, FlowID: f.FlowID, Active: active})
+	}
 	if s.Logf != nil {
 		s.logf("resv: teardown flow %d (active %d)", f.FlowID, active)
 	}
@@ -508,6 +577,9 @@ func (s *Server) refresh(c *conn, f Frame) Frame {
 		sh.wheel.insert(e)
 	}
 	sh.mu.Unlock()
+	if s.Trace != nil {
+		s.Trace(TraceEvent{Kind: TraceRefresh, FlowID: f.FlowID, Value: s.ttl.Seconds(), Active: s.active.Load()})
+	}
 	return Frame{Type: MsgRefreshOK, FlowID: f.FlowID, Value: s.ttl.Seconds()}
 }
 
@@ -529,10 +601,14 @@ func (s *Server) release(c *conn) {
 		if e, ok := sh.entries[id]; ok && e.owner == c {
 			s.removeLocked(sh, e, true)
 			n++
+			if s.Trace != nil {
+				s.Trace(TraceEvent{Kind: TraceRelease, FlowID: id, Active: s.active.Load()})
+			}
 		}
 		sh.mu.Unlock()
 	}
 	if n > 0 {
+		s.metrics.Releases.Add(uint64(n))
 		s.logf("resv: released %d reservations from %v", n, c.nc.RemoteAddr())
 	}
 }

@@ -49,6 +49,10 @@ type Engine struct {
 	now float64
 	seq uint64
 	pq  []event
+	// dispatched and maxQueued are plain observability tallies (the engine
+	// is single-threaded): events popped and the queue's high-water mark.
+	dispatched uint64
+	maxQueued  int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -59,6 +63,12 @@ func (e *Engine) Now() float64 { return e.now }
 
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.pq) }
+
+// Dispatched reports the total number of events popped and run so far.
+func (e *Engine) Dispatched() uint64 { return e.dispatched }
+
+// MaxQueued reports the event queue's high-water mark.
+func (e *Engine) MaxQueued() int { return e.maxQueued }
 
 // Schedule runs fn after the given (nonnegative) delay. Events scheduled
 // for the same instant run in scheduling order.
@@ -94,6 +104,7 @@ func (e *Engine) next(until float64) (event, bool) {
 	}
 	ev := e.pop()
 	e.now = ev.at
+	e.dispatched++
 	return ev, true
 }
 
@@ -123,6 +134,9 @@ func less(a, b *event) bool {
 // push inserts into the 4-ary min-heap.
 func (e *Engine) push(ev event) {
 	e.pq = append(e.pq, ev)
+	if len(e.pq) > e.maxQueued {
+		e.maxQueued = len(e.pq)
+	}
 	i := len(e.pq) - 1
 	for i > 0 {
 		p := (i - 1) >> 2

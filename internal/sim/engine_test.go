@@ -82,3 +82,23 @@ func TestEngineNegativeDelayClamped(t *testing.T) {
 	})
 	e.Run(2)
 }
+
+func TestEngineCounters(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i), func() {})
+	}
+	if got := e.MaxQueued(); got != 5 {
+		t.Errorf("max queued = %d, want 5", got)
+	}
+	if got := e.Dispatched(); got != 0 {
+		t.Errorf("dispatched = %d before Run, want 0", got)
+	}
+	e.Run(10)
+	if got := e.Dispatched(); got != 5 {
+		t.Errorf("dispatched = %d, want 5", got)
+	}
+	if got := e.MaxQueued(); got != 5 {
+		t.Errorf("max queued = %d after drain, want 5 (high-water mark)", got)
+	}
+}

@@ -105,6 +105,11 @@ type Result struct {
 	BlockingRate float64
 	// PeakOccupancy is the largest concurrent flow count observed.
 	PeakOccupancy int
+	// Events counts discrete events dispatched by the engine; ArenaPeak is
+	// the flow arena's high-water mark (live + free slots). Together they
+	// bound the run's compute and memory footprint.
+	Events    uint64
+	ArenaPeak int
 	// ClassUtility and ClassFlows report per-class mean utilities and flow
 	// counts when Config.Classes was set.
 	ClassUtility []float64
@@ -459,6 +464,8 @@ func (s *simState) result() Result {
 		Rejected:      s.rejected,
 		Retries:       s.retries,
 		PeakOccupancy: s.peak,
+		Events:        s.eng.Dispatched(),
+		ArenaPeak:     len(s.flows),
 	}
 	if len(s.occTime) > 0 {
 		if emp, err := dist.NewEmpirical(s.occTime); err == nil {

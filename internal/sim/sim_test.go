@@ -94,6 +94,19 @@ func TestDeterministicRuns(t *testing.T) {
 	if a.Flows != b.Flows || a.MeanUtility != b.MeanUtility || a.AvgOccupancy != b.AvgOccupancy {
 		t.Errorf("same seed gave different results: %+v vs %+v", a, b)
 	}
+	if a.Events != b.Events || a.ArenaPeak != b.ArenaPeak {
+		t.Errorf("engine footprint differs between identical runs: (%d, %d) vs (%d, %d)",
+			a.Events, a.ArenaPeak, b.Events, b.ArenaPeak)
+	}
+	// The footprint counters must be coherent with the run itself: at least
+	// one event per flow dispatched, and an arena at least as large as the
+	// peak concurrency it had to hold.
+	if a.Events < uint64(a.Flows) {
+		t.Errorf("events = %d < flows = %d", a.Events, a.Flows)
+	}
+	if a.ArenaPeak < a.PeakOccupancy {
+		t.Errorf("arena peak %d < peak occupancy %d", a.ArenaPeak, a.PeakOccupancy)
+	}
 }
 
 func TestMMInfOccupancyIsPoisson(t *testing.T) {
