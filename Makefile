@@ -5,15 +5,23 @@ GO ?= go
 .PHONY: all build vet test race check bench bench-diff bench-server figures examples cover cover-gate clean
 
 # Benchmarks the regression gate enforces (see bench-diff): the simulator
-# validation runs, the enforcement loop, the SCFQ hot path, and the
+# validation runs, the enforcement loop, the SCFQ hot path, the
 # admission-server throughput suite (ns/op and allocs/op — the serving
-# plane's reserve→grant path must stay at 0 allocs/op).
-BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput
+# plane's reserve→grant path must stay at 0 allocs/op), the datagram
+# transport, and the 100k-flow high-concurrency churn.
+BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput|BenchmarkServerHighConcurrency|BenchmarkUDPThroughput
+
+# Absolute metric floors on the fresh bench-diff run (NAME_RE=unit:MIN, see
+# cmd/benchjson -floor). The high-concurrency churn measured ~276k req/s
+# with 100k standing flows on the CI-class container; 20k req/s is the
+# "still fundamentally works at scale" bar, far below normal but well above
+# any accidental serialization of the mux or shard paths.
+BENCH_FLOOR = BenchmarkServerHighConcurrency=req/s:20000,BenchmarkServerHighConcurrency=flows:100000
 
 # Packages with concurrency worth racing: the single source of truth for
 # both `make race` and CI (which calls `make race`), so the two can never
 # drift apart again.
-RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ .
+RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ ./cmd/beqos/ .
 
 # Coverage floor (percent) enforced by cover-gate on the serving and
 # observability planes.
@@ -45,15 +53,17 @@ bench:
 	@echo "wrote BENCH_core.json"
 
 # Benchmark regression gate: rerun the gated benchmarks with -benchmem and
-# compare against the committed BENCH_core.json. Fails on >30% ns/op or any
-# allocs/op regression (see cmd/benchjson -diff).
+# compare against the committed BENCH_core.json. Fails on >30% ns/op, any
+# allocs/op regression, or a BENCH_FLOOR metric below its minimum (see
+# cmd/benchjson -diff / -floor).
 bench-diff:
-	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_core.json -gate '$(BENCH_GATE)'
+	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_core.json -gate '$(BENCH_GATE)' -floor '$(BENCH_FLOOR)'
 
-# Just the serving-plane throughput suite (net.Pipe + TCP loopback,
-# sync and pipelined clients), for quick iteration on internal/resv.
+# Just the serving-plane suites (sync, pipelined, datagram, and the
+# 100k-flow high-concurrency churn; BEQOS_BENCH_1M=1 raises the standing
+# population to 1M), for quick iteration on internal/resv.
 bench-server:
-	$(GO) test -bench=BenchmarkServerThroughput -benchmem -run '^$$' .
+	$(GO) test -bench='BenchmarkServerThroughput|BenchmarkServerHighConcurrency|BenchmarkUDPThroughput' -benchmem -run '^$$' .
 
 # Regenerate every paper table and figure into out/ (see EXPERIMENTS.md).
 figures:

@@ -62,6 +62,13 @@ func (a *AdmissionServer) Allocated() float64 { return a.s.Allocated() }
 // Serve accepts and serves connections on ln until it closes.
 func (a *AdmissionServer) Serve(ln net.Listener) error { return a.s.Serve(ln) }
 
+// ServePacket serves the reservation protocol in datagram mode on pc: one
+// frame per datagram, no connection state, client retransmissions answered
+// from the live reservation so a re-sent reserve never admits twice (see
+// DESIGN.md §11). It blocks until pc closes. A server may serve stream and
+// datagram transports at once.
+func (a *AdmissionServer) ServePacket(pc net.PacketConn) error { return a.s.ServePacket(pc) }
+
 // HandleConn serves one established connection (useful with net.Pipe).
 func (a *AdmissionServer) HandleConn(nc net.Conn) { a.s.HandleConn(nc) }
 
@@ -106,6 +113,19 @@ func DialAdmission(ctx context.Context, network, addr string) (*AdmissionClient,
 // NewAdmissionClient wraps an established connection.
 func NewAdmissionClient(nc net.Conn) *AdmissionClient {
 	return &AdmissionClient{c: resv.NewClient(nc)}
+}
+
+// DialAdmissionUDP connects to an admission server's datagram endpoint
+// (AdmissionServer.ServePacket). Requests are retransmitted up to
+// maxFlights times after timeout-long silences; the server answers a
+// retransmission from the live reservation, so a re-sent reserve never
+// admits twice. Zero timeout and maxFlights mean 250ms and 4 flights.
+func DialAdmissionUDP(ctx context.Context, addr string, timeout time.Duration, maxFlights int) (*AdmissionClient, error) {
+	c, err := resv.DialUDP(ctx, addr, resv.UDPConfig{Timeout: timeout, MaxFlights: maxFlights})
+	if err != nil {
+		return nil, err
+	}
+	return &AdmissionClient{c: c}, nil
 }
 
 // Close drops the connection, releasing all reservations made through it.

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"beqos/internal/resv"
 	"beqos/internal/utility"
@@ -215,5 +217,146 @@ func benchPipelinedClients(b *testing.B, transport string, clients, depth int) {
 func reportReqRate(b *testing.B) {
 	if b.Elapsed() > 0 {
 		b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+}
+
+// BenchmarkServerHighConcurrency is the million-connection headline: it
+// parks a large population of live reservations on flow-multiplexed
+// connections (100k by default; BEQOS_BENCH_1M=1 raises it to 1M), then
+// measures reserve→grant→teardown→ok churn through the standing state —
+// every admission walking shard tables sized by the autotuner, every reply
+// routed through the mux demultiplexer. One op is one churn cycle; the
+// steady-state path must not allocate on either side of the pipe.
+func BenchmarkServerHighConcurrency(b *testing.B) {
+	standing := 100_000
+	if os.Getenv("BEQOS_BENCH_1M") != "" {
+		standing = 1_000_000
+	}
+	const churners = 8
+	s := benchServer(b, float64(standing+churners))
+	dial := benchDialer(b, s, "pipe")
+
+	// Establish the standing population across a small pool of mux
+	// connections, in parallel — setup, not measured.
+	pool := 4
+	muxes := make([]*resv.MuxClient, pool)
+	for i := range muxes {
+		muxes[i] = resv.NewMuxClient(dial())
+		defer muxes[i].Close()
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	per := standing / pool
+	for i, m := range muxes {
+		lo := uint64(i*per) + 1
+		hi := lo + uint64(per)
+		if i == pool-1 {
+			hi = uint64(standing) + 1
+		}
+		wg.Add(1)
+		go func(m *resv.MuxClient, lo, hi uint64) {
+			defer wg.Done()
+			for id := lo; id < hi; id++ {
+				ok, _, err := m.Reserve(ctx, id, 1)
+				if err != nil || !ok {
+					b.Errorf("standing reserve %d: ok=%v err=%v", id, ok, err)
+					return
+				}
+			}
+		}(m, lo, hi)
+	}
+	wg.Wait()
+	if b.Failed() {
+		return
+	}
+	if got := s.Active(); got != standing {
+		b.Fatalf("standing population = %d, want %d", got, standing)
+	}
+
+	// Churn through the standing state: each worker cycles its own flow ID
+	// above the population on its own mux connection.
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < churners; i++ {
+		n := b.N / churners
+		if i == 0 {
+			n += b.N % churners
+		}
+		id := uint64(standing + i + 1)
+		m := muxes[i%pool]
+		wg.Add(1)
+		go func(m *resv.MuxClient, id uint64, n int) {
+			defer wg.Done()
+			for j := 0; j < n; j++ {
+				ok, _, err := m.Reserve(ctx, id, 1)
+				if err != nil || !ok {
+					b.Errorf("churn reserve %d: ok=%v err=%v", id, ok, err)
+					return
+				}
+				if err := m.Teardown(ctx, id); err != nil {
+					b.Errorf("churn teardown %d: %v", id, err)
+					return
+				}
+			}
+		}(m, id, n)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(standing), "flows")
+	reportReqRate(b)
+}
+
+// BenchmarkUDPThroughput measures the datagram transport end to end over
+// loopback sockets: one op is a reserve→grant plus teardown→ok cycle, each
+// round trip one datagram out and one back through the reader pool.
+func BenchmarkUDPThroughput(b *testing.B) {
+	for _, clients := range []int{1, 8} {
+		clients := clients
+		b.Run(fmt.Sprintf("c%d", clients), func(b *testing.B) {
+			s := benchServer(b, float64(clients))
+			pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer pc.Close()
+			go func() { _ = s.ServePacket(pc) }()
+			cls := make([]*resv.Client, clients)
+			for i := range cls {
+				nc, err := net.Dial("udp", pc.LocalAddr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cls[i] = resv.NewUDPClient(nc, resv.UDPConfig{Timeout: time.Second})
+				defer cls[i].Close()
+			}
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i, cl := range cls {
+				n := b.N / clients
+				if i == 0 {
+					n += b.N % clients
+				}
+				wg.Add(1)
+				go func(cl *resv.Client, id uint64, n int) {
+					defer wg.Done()
+					for j := 0; j < n; j++ {
+						ok, _, err := cl.Reserve(ctx, id, 1)
+						if err != nil || !ok {
+							b.Errorf("reserve flow %d: ok=%v err=%v", id, ok, err)
+							return
+						}
+						if err := cl.Teardown(ctx, id); err != nil {
+							b.Errorf("teardown flow %d: %v", id, err)
+							return
+						}
+					}
+				}(cl, uint64(i+1), n)
+			}
+			wg.Wait()
+			b.StopTimer()
+			reportReqRate(b)
+		})
 	}
 }

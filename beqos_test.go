@@ -223,6 +223,42 @@ func TestFacadeAdmissionProtocol(t *testing.T) {
 	}
 }
 
+func TestFacadeAdmissionDatagram(t *testing.T) {
+	srv, err := beqos.NewAdmissionServer(2, beqos.RigidUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() { _ = srv.ServePacket(pc) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := beqos.DialAdmissionUDP(ctx, pc.LocalAddr().String(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ok, share, err := client.Reserve(ctx, 1, 1)
+	if err != nil || !ok || share != 1 {
+		t.Fatalf("reserve: ok=%v share=%v err=%v", ok, share, err)
+	}
+	kmax, active, err := client.Stats(ctx)
+	if err != nil || kmax != 2 || active != 1 {
+		t.Fatalf("stats: %d %d %v", kmax, active, err)
+	}
+	if err := client.Teardown(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Active() != 0 {
+		t.Errorf("server still holds %d reservations", srv.Active())
+	}
+}
+
 func TestFacadeMixtures(t *testing.T) {
 	light, err := beqos.ExponentialLoad(100)
 	if err != nil {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	go test -bench=. -benchmem . | benchjson [-o FILE]
-//	go test -bench=. -benchmem . | benchjson -diff BENCH_core.json [-gate REGEX] [-ns-tol 0.30]
+//	go test -bench=. -benchmem . | benchjson -diff BENCH_core.json [-gate REGEX] [-ns-tol 0.30] [-floor RE=unit:MIN,...]
 //
 // In -diff mode the fresh results are compared against a committed
 // baseline: benchmarks whose name matches -gate fail the run when ns/op
@@ -13,6 +13,14 @@
 // allocs/op increases at all — the allocation wins are a ratchet. Gated
 // benchmarks missing from the fresh run also fail, so the gate cannot be
 // silently dropped. Non-gated benchmarks are reported but never fail.
+//
+// -floor adds absolute minimums on custom b.ReportMetric units
+// (comma-separated NAME_RE=unit:MIN entries, e.g.
+// "HighConcurrency=req/s:20000"): every fresh benchmark matching NAME_RE
+// must report the unit at or above MIN, and a floor no benchmark matches
+// fails too. Floors are absolute rather than baseline-relative because
+// throughput metrics (req/s) vary with the host; the floor encodes the
+// "still fundamentally works at scale" bar, not a regression tolerance.
 //
 // Lines that are not benchmark results (the header, PASS/ok trailers) are
 // folded into the report's metadata where recognized and skipped otherwise.
@@ -37,6 +45,8 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units ("req/s", "flows", …).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the full JSON document.
@@ -53,6 +63,7 @@ func main() {
 	diff := flag.String("diff", "", "baseline JSON report to compare against (gate mode)")
 	gate := flag.String("gate", ".", "regexp of benchmark names the gate may fail on")
 	nsTol := flag.Float64("ns-tol", 0.30, "allowed fractional ns/op regression on gated benchmarks")
+	floorSpec := flag.String("floor", "", "comma-separated NAME_RE=unit:MIN absolute metric floors on the fresh run (diff mode)")
 	flag.Parse()
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
@@ -71,7 +82,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
 			os.Exit(1)
 		}
+		floors, err := parseFloors(*floorSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -floor: %v\n", err)
+			os.Exit(1)
+		}
 		failures := diffReports(os.Stdout, base, rep, gateRe, *nsTol)
+		failures += checkFloors(os.Stdout, rep, floors)
 		if failures > 0 {
 			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark regression(s) vs %s\n", failures, *diff)
 			os.Exit(1)
@@ -211,16 +228,90 @@ func parseResult(line string) (Result, bool) {
 	}
 	r := Result{Name: name, Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
+		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			continue
 		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
-			r.BytesPerOp = v
+			r.BytesPerOp = int64(v)
 		case "allocs/op":
-			r.AllocsPerOp = v
+			r.AllocsPerOp = int64(v)
+		default:
+			// A custom b.ReportMetric unit (req/s, flows, …).
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	return r, true
+}
+
+// floor is one -floor entry: fresh benchmarks matching the name pattern
+// must report the unit at or above min.
+type floor struct {
+	re   *regexp.Regexp
+	unit string
+	min  float64
+}
+
+// parseFloors parses comma-separated NAME_RE=unit:MIN entries.
+func parseFloors(spec string) ([]floor, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var fls []floor
+	for _, entry := range strings.Split(spec, ",") {
+		name, rest, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("floor %q: want NAME_RE=unit:MIN", entry)
+		}
+		unit, minStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("floor %q: want NAME_RE=unit:MIN", entry)
+		}
+		re, err := regexp.Compile(name)
+		if err != nil {
+			return nil, fmt.Errorf("floor %q: %v", entry, err)
+		}
+		min, err := strconv.ParseFloat(minStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("floor %q: %v", entry, err)
+		}
+		fls = append(fls, floor{re: re, unit: unit, min: min})
+	}
+	return fls, nil
+}
+
+// checkFloors enforces absolute metric floors on the fresh run and returns
+// the number of failures. A floor with no matching fresh benchmark fails,
+// so a floor cannot be silently dropped by renaming the benchmark.
+func checkFloors(w io.Writer, fresh *Report, floors []floor) int {
+	failures := 0
+	for _, fl := range floors {
+		matched := false
+		for _, r := range fresh.Results {
+			if !fl.re.MatchString(r.Name) {
+				continue
+			}
+			matched = true
+			v, ok := r.Metrics[fl.unit]
+			switch {
+			case !ok:
+				fmt.Fprintf(w, "%-44s FLOOR FAIL: no %s metric (want ≥ %g)\n", r.Name, fl.unit, fl.min)
+				failures++
+			case v < fl.min:
+				fmt.Fprintf(w, "%-44s FLOOR FAIL: %s %.0f < %g\n", r.Name, fl.unit, v, fl.min)
+				failures++
+			default:
+				fmt.Fprintf(w, "%-44s floor ok: %s %.0f ≥ %g\n", r.Name, fl.unit, v, fl.min)
+			}
+		}
+		if !matched {
+			fmt.Fprintf(w, "%-44s FLOOR FAIL: no benchmark matches (want %s ≥ %g)\n", fl.re, fl.unit, fl.min)
+			failures++
+		}
+	}
+	return failures
 }

@@ -107,3 +107,79 @@ func TestDiffNewBenchmarkIsInformational(t *testing.T) {
 		t.Errorf("benchmark without baseline should not fail, got %d:\n%s", fails, out)
 	}
 }
+
+const metricOutput = sampleOutput +
+	"BenchmarkHigh-8   500   7000.0 ns/op   100000 flows   276228 req/s   0 B/op   0 allocs/op\n"
+
+func TestParseCustomMetrics(t *testing.T) {
+	rep := parseSample(t, metricOutput)
+	h := rep.Results[len(rep.Results)-1]
+	if h.Name != "BenchmarkHigh" || h.AllocsPerOp != 0 || h.BytesPerOp != 0 {
+		t.Fatalf("high parsed wrong: %+v", h)
+	}
+	if h.Metrics["flows"] != 100000 || h.Metrics["req/s"] != 276228 {
+		t.Errorf("custom metrics parsed wrong: %+v", h.Metrics)
+	}
+	// Plain results carry no metrics map (keeps the JSON compact).
+	if rep.Results[0].Metrics != nil {
+		t.Errorf("alpha should have no metrics: %+v", rep.Results[0].Metrics)
+	}
+}
+
+func TestParseFloors(t *testing.T) {
+	fls, err := parseFloors("High=req/s:20000,Alpha|Beta=flows:1e5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fls) != 2 || fls[0].unit != "req/s" || fls[0].min != 20000 || fls[1].min != 1e5 {
+		t.Errorf("floors parsed wrong: %+v", fls)
+	}
+	if fls, err := parseFloors(""); err != nil || fls != nil {
+		t.Errorf("empty spec should be a no-op, got %v, %v", fls, err)
+	}
+	for _, bad := range []string{"High", "High=req/s", "High=req/s:fast", "(=req/s:1"} {
+		if _, err := parseFloors(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}
+
+// floorCase runs checkFloors on a fresh run parsed from text.
+func floorCase(t *testing.T, fresh, spec string) (int, string) {
+	t.Helper()
+	fls, err := parseFloors(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fails := checkFloors(&sb, parseSample(t, fresh), fls)
+	return fails, sb.String()
+}
+
+func TestFloorPass(t *testing.T) {
+	fails, out := floorCase(t, metricOutput, "High=req/s:20000")
+	if fails != 0 || !strings.Contains(out, "floor ok") {
+		t.Errorf("metric above floor should pass, got %d:\n%s", fails, out)
+	}
+}
+
+func TestFloorBelowMinimum(t *testing.T) {
+	fails, out := floorCase(t, metricOutput, "High=req/s:300000")
+	if fails != 1 || !strings.Contains(out, "FLOOR FAIL") {
+		t.Errorf("metric below floor should fail, got %d:\n%s", fails, out)
+	}
+}
+
+func TestFloorMissingMetricOrBenchmark(t *testing.T) {
+	// The matched benchmark lacks the unit: fail.
+	fails, out := floorCase(t, metricOutput, "High=widgets/s:1")
+	if fails != 1 || !strings.Contains(out, "no widgets/s metric") {
+		t.Errorf("missing unit should fail, got %d:\n%s", fails, out)
+	}
+	// No benchmark matches the pattern at all: fail, so a rename cannot
+	// silently drop the floor.
+	fails, out = floorCase(t, metricOutput, "Vanished=req/s:1")
+	if fails != 1 || !strings.Contains(out, "no benchmark matches") {
+		t.Errorf("unmatched floor should fail, got %d:\n%s", fails, out)
+	}
+}

@@ -240,6 +240,7 @@ func cmdServe(args []string) error {
 	capacity := fs.Float64("capacity", 8, "link capacity C")
 	utilName := fs.String("util", "rigid", "utility function: rigid, adaptive")
 	ttl := fs.Duration("ttl", 0, "soft-state TTL: unrefreshed reservations expire (0 = never)")
+	transport := fs.String("transport", "tcp", "serving transport: tcp (stream and mux clients), udp (datagram mode), all (both on the same address)")
 	quiet := fs.Bool("quiet", false, "suppress per-event logging")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
 	if err := fs.Parse(args); err != nil {
@@ -259,23 +260,49 @@ func cmdServe(args []string) error {
 			fmt.Printf(format+"\n", a...)
 		})
 	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
+	var ln net.Listener
+	var pc net.PacketConn
+	switch *transport {
+	case "tcp", "all":
+		if ln, err = net.Listen("tcp", *addr); err != nil {
+			return err
+		}
+	case "udp":
+	default:
+		return fmt.Errorf("unknown -transport %q (want tcp, udp, or all)", *transport)
+	}
+	if *transport == "udp" || *transport == "all" {
+		if pc, err = net.ListenPacket("udp", *addr); err != nil {
+			if ln != nil {
+				_ = ln.Close()
+			}
+			return err
+		}
 	}
 	ttlNote := "reservations never expire"
 	if *ttl > 0 {
 		ttlNote = fmt.Sprintf("soft-state TTL %v", *ttl)
 	}
-	fmt.Printf("beqos: admission server on %s (capacity %g, kmax %d, %d shards, %s)\n",
-		ln.Addr(), *capacity, srv.KMax(), srv.Shards(), ttlNote)
+	if ln != nil {
+		fmt.Printf("beqos: admission server on tcp %s (capacity %g, kmax %d, %d shards, %s)\n",
+			ln.Addr(), *capacity, srv.KMax(), srv.Shards(), ttlNote)
+	}
+	if pc != nil {
+		fmt.Printf("beqos: admission server on udp %s (capacity %g, kmax %d, %d shards, %s)\n",
+			pc.LocalAddr(), *capacity, srv.KMax(), srv.Shards(), ttlNote)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	var dln net.Listener
 	if *debugAddr != "" {
 		dln, err = net.Listen("tcp", *debugAddr)
 		if err != nil {
-			_ = ln.Close()
+			if ln != nil {
+				_ = ln.Close()
+			}
+			if pc != nil {
+				_ = pc.Close()
+			}
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		fmt.Printf("beqos: observability on http://%s (/metrics, /healthz, /debug/pprof/)\n", dln.Addr())
@@ -283,12 +310,24 @@ func cmdServe(args []string) error {
 	}
 	go func() {
 		<-ctx.Done()
-		_ = ln.Close()
+		if ln != nil {
+			_ = ln.Close()
+		}
+		if pc != nil {
+			_ = pc.Close()
+		}
 		if dln != nil {
 			_ = dln.Close()
 		}
 	}()
-	err = srv.Serve(ln)
+	errc := make(chan error, 2)
+	if ln != nil {
+		go func() { errc <- srv.Serve(ln) }()
+	}
+	if pc != nil {
+		go func() { errc <- srv.ServePacket(pc) }()
+	}
+	err = <-errc
 	if ctx.Err() != nil {
 		fmt.Println("beqos: shutting down")
 		return nil

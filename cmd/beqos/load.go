@@ -33,6 +33,9 @@ func cmdLoad(args []string) error {
 	dropEvery := fs.Int("drop-every", 0, "drop a connection at every n-th reserved departure (0 = off)")
 	retries := fs.Int("retries", 0, "extra attempts per denied arrival via the retry path")
 	probeTTL := fs.Duration("probe-ttl", 0, "also probe soft state against a TTL server (0 = skip)")
+	transport := fs.String("transport", "classic", "protocol transport: classic (one stream per endpoint), mux (flow-multiplexed streams), udp (datagram mode with retransmission)")
+	udpLoss := fs.Int("udp-loss", 0, "drop every n-th datagram in each direction (udp transport; 0 = lossless)")
+	udpTimeout := fs.Duration("udp-timeout", 0, "datagram retransmit flight timeout (0 = 25ms)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,16 +57,19 @@ func cmdLoad(args []string) error {
 	}
 
 	cfg := loadgen.Config{
-		Capacity:  *capacity,
-		Util:      util,
-		Conns:     *conns,
-		Rate:      *mean / *hold,
-		Hold:      *hold,
-		Duration:  *duration,
-		Warmup:    *warmup,
-		Seed1:     *seed,
-		Seed2:     *seed ^ 0x9e3779b97f4a7c15,
-		DropEvery: *dropEvery,
+		Capacity:     *capacity,
+		Util:         util,
+		Conns:        *conns,
+		Rate:         *mean / *hold,
+		Hold:         *hold,
+		Duration:     *duration,
+		Warmup:       *warmup,
+		Seed1:        *seed,
+		Seed2:        *seed ^ 0x9e3779b97f4a7c15,
+		DropEvery:    *dropEvery,
+		Transport:    *transport,
+		UDPLossEvery: *udpLoss,
+		UDPTimeout:   *udpTimeout,
 	}
 	if *retries > 0 {
 		cfg.RetryAttempts = *retries + 1
@@ -79,15 +85,27 @@ func cmdLoad(args []string) error {
 		}
 		cfg.Server = srv
 	}
-	fmt.Printf("beqos: load harness vs %s (capacity %g, util %s, k̄ %g, %d conns, seed %d)\n",
-		target, *capacity, util.Name(), *mean, cfg.Conns, *seed)
+	fmt.Printf("beqos: load harness vs %s (capacity %g, util %s, k̄ %g, %d conns, %s transport, seed %d)\n",
+		target, *capacity, util.Name(), *mean, cfg.Conns, cfg.Transport, *seed)
 
 	res, err := loadgen.Run(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("flows %d  attempts %d  denied %d  grants %d  teardowns %d  retries %d  drops %d  reissued %d  peak load %d\n\n",
+	fmt.Printf("flows %d  attempts %d  denied %d  grants %d  teardowns %d  retries %d  drops %d  reissued %d  peak load %d\n",
 		res.Flows, res.Attempts, res.Denied, res.Grants, res.Teardowns, res.Retries, res.Drops, res.Reissued, res.PeakLoad)
+	if cfg.Transport == "udp" {
+		timeout := cfg.UDPTimeout
+		if timeout == 0 {
+			timeout = 25 * time.Millisecond
+		}
+		lossNote := "lossless"
+		if *udpLoss > 0 {
+			lossNote = fmt.Sprintf("loss 1/%d each way", *udpLoss)
+		}
+		fmt.Printf("udp retransmits %d (flight timeout %v, %s)\n", res.UDPRetransmits, timeout, lossNote)
+	}
+	fmt.Println()
 
 	load, err := dist.NewPoisson(*mean)
 	if err != nil {
@@ -119,14 +137,25 @@ func cmdLoad(args []string) error {
 
 	// For an in-process run the server's /metrics instruments must agree
 	// with the harness's client-side tallies — the same conservation law an
-	// operator would check by scraping a live server.
+	// operator would check by scraping a live server. Grants count
+	// admissions only (a re-sent grant lands in resv_dup_reserves_total),
+	// so the grant equality holds even under injected datagram loss;
+	// denial equality does not — a denial whose reply is lost is counted
+	// once per retransmitted attempt on the server, once on the client.
 	if cfg.Server != nil {
 		sm := cfg.Server.Metrics()
-		if g, d := int(sm.Grants.Load()), int(sm.Denials.Load()); g != res.Grants || d != res.Denied {
-			return fmt.Errorf("server /metrics disagree with the harness: grants %d vs %d, denials %d vs %d",
-				g, res.Grants, d, res.Denied)
+		if g := int(sm.Grants.Load()); g != res.Grants {
+			return fmt.Errorf("server /metrics disagree with the harness: grants %d vs %d", g, res.Grants)
 		}
-		fmt.Printf("server /metrics agree: grants %d, denials %d\n", res.Grants, res.Denied)
+		if *udpLoss > 0 {
+			fmt.Printf("server /metrics agree: grants %d (dup reserves %d; denial tallies incomparable under loss: server %d, client %d)\n",
+				res.Grants, sm.DupReserves.Load(), sm.Denials.Load(), res.Denied)
+		} else {
+			if d := int(sm.Denials.Load()); d != res.Denied {
+				return fmt.Errorf("server /metrics disagree with the harness: denials %d vs %d", d, res.Denied)
+			}
+			fmt.Printf("server /metrics agree: grants %d, denials %d\n", res.Grants, res.Denied)
+		}
 	}
 
 	if *probeTTL > 0 {

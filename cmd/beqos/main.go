@@ -9,9 +9,10 @@
 //	beqos gamma   -load algebraic -util rigid -pmin 0.001 -pmax 0.5
 //	beqos fixedload -capacity 100 -util adaptive
 //	beqos sim     -capacity 120 -rate 10 -hold 10 -reserve
-//	beqos serve   -addr :4742 -capacity 8 -debug-addr :4743
+//	beqos serve   -addr :4742 -capacity 8 -transport all -debug-addr :4743
 //	beqos reserve -addr localhost:4742 -flows 12
 //	beqos load    -capacity 100 -util adaptive -mean 100 -probe-ttl 250ms
+//	beqos load    -capacity 100 -util adaptive -mean 100 -transport udp -udp-loss 10
 //
 // Every subcommand prints -h help. Loads: poisson, exponential, algebraic
 // (with -z). Utilities: rigid, adaptive, elastic.
@@ -77,11 +78,12 @@ Commands:
   plot      render B/R or Δ curves as an ASCII chart
   extension evaluate the §5 sampling or retrying extension at a capacity
   sim       run the flow-level simulator on one link
-  serve     run a reservation admission-control server (-debug-addr serves
-            /metrics, /healthz and /debug/pprof)
+  serve     run a reservation admission-control server (-transport tcp,
+            udp, or all; -debug-addr serves /metrics, /healthz, /debug/pprof)
   reserve   request reservations from a running server
   load      drive an admission server with Poisson load and cross-validate
             the measured blocking and utility against the analytical model
+            (-transport classic, mux, or udp; -udp-loss injects packet loss)
 
 Run 'beqos <command> -h' for flags.
 `)

@@ -147,6 +147,61 @@ func TestCmdLoadOverTCP(t *testing.T) {
 	}
 }
 
+func TestCmdLoadTransports(t *testing.T) {
+	// The mux transport with connection faults, and the udp transport with
+	// injected datagram loss: both must still pass the 3σ cross-validation
+	// and the exact grant agreement cmdLoad enforces.
+	err := cmdLoad([]string{
+		"-capacity", "10", "-util", "adaptive", "-mean", "10", "-hold", "0.5",
+		"-duration", "30", "-conns", "2", "-seed", "3",
+		"-transport", "mux", "-drop-every", "9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cmdLoad([]string{
+		"-capacity", "10", "-util", "adaptive", "-mean", "10", "-hold", "0.5",
+		"-duration", "30", "-conns", "2", "-seed", "3",
+		"-transport", "udp", "-udp-loss", "20", "-udp-timeout", "10ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLoad([]string{"-transport", "quic"}); err == nil {
+		t.Error("unknown transport should fail")
+	}
+	if err := cmdLoad([]string{"-udp-loss", "10"}); err == nil {
+		t.Error("-udp-loss without -transport udp should fail")
+	}
+}
+
+func TestCmdLoadOverUDP(t *testing.T) {
+	// The harness against a datagram server across a real socket, the way
+	// `beqos serve -transport udp` + `beqos load -addr -transport udp`
+	// compose.
+	srv, err := beqos.NewAdmissionServer(10, beqos.AdaptiveUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() { _ = srv.ServePacket(pc) }()
+	err = cmdLoad([]string{
+		"-addr", pc.LocalAddr().String(),
+		"-capacity", "10", "-util", "adaptive", "-mean", "10", "-hold", "0.5",
+		"-duration", "30", "-seed", "5", "-transport", "udp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Active() != 0 {
+		t.Errorf("server still holds %d reservations after the harness", srv.Active())
+	}
+}
+
 func TestCmdGamma(t *testing.T) {
 	if err := cmdGamma([]string{"-load", "poisson", "-pmin", "0.05", "-pmax", "0.3", "-points", "2"}); err != nil {
 		t.Fatal(err)

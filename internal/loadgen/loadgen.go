@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"beqos/internal/obs"
@@ -88,6 +90,24 @@ type Config struct {
 	// cannot change between synchronous attempts, so this exercises the
 	// retry path without perturbing the measurements).
 	RetryAttempts int
+
+	// Transport selects how the harness reaches the server: "classic" (one
+	// stream connection per endpoint, the default), "mux" (each endpoint is
+	// a flow-multiplexed stream client), or "udp" (datagram mode with
+	// client-side retransmission).
+	Transport string
+
+	// UDPLossEvery ≥ 2 drops every n-th outgoing and every n-th incoming
+	// datagram across the whole endpoint pool (udp transport only):
+	// deterministic packet loss in both directions that forces the client
+	// retransmit path and the server dedup path while the measurements stay
+	// exact — a retransmitted reserve never admits twice. 1 would drop
+	// every retransmission too, so it is rejected.
+	UDPLossEvery int
+	// UDPTimeout is the datagram retransmit flight timeout (default 25ms —
+	// loopback-fast so injected loss costs milliseconds, not the 250ms
+	// wide-area default).
+	UDPTimeout time.Duration
 }
 
 func (cfg *Config) withDefaults() (Config, error) {
@@ -124,6 +144,28 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.DropEvery < 0 || c.RetryAttempts < 0 {
 		return c, fmt.Errorf("loadgen: DropEvery and RetryAttempts must be nonnegative")
+	}
+	switch c.Transport {
+	case "":
+		c.Transport = "classic"
+	case "classic", "mux":
+	case "udp":
+		if c.DropEvery > 0 {
+			return c, fmt.Errorf("loadgen: DropEvery needs a connection to drop; the udp transport has none (its fault model is UDPLossEvery)")
+		}
+	default:
+		return c, fmt.Errorf("loadgen: unknown transport %q (want classic, mux, or udp)", c.Transport)
+	}
+	if c.UDPLossEvery != 0 {
+		if c.Transport != "udp" {
+			return c, fmt.Errorf("loadgen: UDPLossEvery applies only to the udp transport, not %q", c.Transport)
+		}
+		if c.UDPLossEvery < 2 {
+			return c, fmt.Errorf("loadgen: UDPLossEvery must be ≥ 2 (1 would drop every retransmission too), got %d", c.UDPLossEvery)
+		}
+	}
+	if c.UDPTimeout == 0 {
+		c.UDPTimeout = 25 * time.Millisecond
 	}
 	return c, nil
 }
@@ -186,6 +228,10 @@ type Result struct {
 	// harness would scrape from /metrics).
 	Latency obs.HistSnapshot
 
+	// UDPRetransmits counts datagram re-sends after a reply timeout (udp
+	// transport under UDPLossEvery; 0 otherwise).
+	UDPRetransmits int
+
 	// FinalActive is the server's reservation count after cleanup (0 on a
 	// correct server: every grant was matched by a teardown or release).
 	FinalActive int
@@ -200,10 +246,75 @@ type flow struct {
 	reserved bool
 }
 
+// rclient is the protocol surface the harness drives. *resv.Client covers
+// the classic and udp transports and *resv.MuxClient the mux transport;
+// the harness is indifferent beyond this interface.
+type rclient interface {
+	Reserve(ctx context.Context, flowID uint64, bandwidth float64) (bool, float64, error)
+	ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth float64, policy resv.RetryPolicy) (bool, float64, int, error)
+	Teardown(ctx context.Context, flowID uint64) error
+	Stats(ctx context.Context) (int, int, error)
+	SetMetrics(m *resv.ClientMetrics)
+	Close() error
+}
+
 // endpoint is one client connection and the reservations living on it.
 type endpoint struct {
-	client   *resv.Client
+	client   rclient
 	reserved map[uint64]*flow
+}
+
+// lossDebug (BEQOS_LOSS_DEBUG=1) traces every datagram through the loss
+// layer — direction, pass/drop, decoded type and flow — for diagnosing
+// fault-injection runs frame by frame.
+var lossDebug = os.Getenv("BEQOS_LOSS_DEBUG") != ""
+
+// lossyConn injects deterministic datagram loss in both directions: every
+// n-th outgoing write (request loss — the server never hears it) and every
+// n-th incoming read (reply loss — the server answered, forcing the dedup
+// path) across the pool. The counters are shared by all endpoints, so
+// identical configurations lose identical packets.
+type lossyConn struct {
+	net.Conn
+	every    uint64
+	sent     *atomic.Uint64
+	received *atomic.Uint64
+}
+
+func (lc *lossyConn) Write(b []byte) (int, error) {
+	if lc.sent.Add(1)%lc.every == 0 {
+		if lossDebug {
+			f, _ := resv.DecodeDatagram(b)
+			fmt.Fprintf(os.Stderr, "LOSS send DROP %s flow=%d\n", f.Type, f.FlowID)
+		}
+		return len(b), nil // lost on the wire
+	}
+	if lossDebug {
+		f, _ := resv.DecodeDatagram(b)
+		fmt.Fprintf(os.Stderr, "LOSS send pass %s flow=%d\n", f.Type, f.FlowID)
+	}
+	return lc.Conn.Write(b)
+}
+
+func (lc *lossyConn) Read(b []byte) (int, error) {
+	for {
+		n, err := lc.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		if lc.received.Add(1)%lc.every == 0 {
+			if lossDebug {
+				f, _ := resv.DecodeDatagram(b[:n])
+				fmt.Fprintf(os.Stderr, "LOSS recv DROP %s flow=%d val=%g\n", f.Type, f.FlowID, f.Value)
+			}
+			continue // the reply is lost; the client's timer handles it
+		}
+		if lossDebug {
+			f, _ := resv.DecodeDatagram(b[:n])
+			fmt.Fprintf(os.Stderr, "LOSS recv pass %s flow=%d val=%g\n", f.Type, f.FlowID, f.Value)
+		}
+		return n, nil
+	}
 }
 
 type runner struct {
@@ -218,6 +329,12 @@ type runner struct {
 	// outcome, retry and latency statistics from it instead of bespoke
 	// per-call-site tallies.
 	cm *resv.ClientMetrics
+
+	// udpLn is the in-process datagram listener (udp transport against an
+	// in-process Server); lossSent/lossRecv are the pool-wide loss counters.
+	udpLn    net.PacketConn
+	lossSent atomic.Uint64
+	lossRecv atomic.Uint64
 
 	kmax     int
 	nextID   uint64
@@ -264,6 +381,14 @@ func Run(cfg Config) (*Result, error) {
 		firstDen: make([]float64, batches),
 	}
 	r.cm = resv.NewClientMetrics(obs.New())
+	defer func() {
+		for _, ep := range r.eps {
+			_ = ep.client.Close()
+		}
+		if r.udpLn != nil {
+			_ = r.udpLn.Close()
+		}
+	}()
 	for i := 0; i < c.Conns; i++ {
 		ep, err := r.connect()
 		if err != nil {
@@ -271,11 +396,6 @@ func Run(cfg Config) (*Result, error) {
 		}
 		r.eps = append(r.eps, ep)
 	}
-	defer func() {
-		for _, ep := range r.eps {
-			_ = ep.client.Close()
-		}
-	}()
 	kmax, active, err := r.stats()
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: initial stats: %w", err)
@@ -358,9 +478,61 @@ func Run(cfg Config) (*Result, error) {
 	return &r.res, nil
 }
 
-// dial opens one connection to the target: net.Pipe into an in-process
-// server, or a network dial.
-func dial(server *resv.Server, network, addr string) (*resv.Client, error) {
+// dial opens one connection to the target in the configured transport:
+// net.Pipe (stream transports) or a loopback datagram socket (udp) into an
+// in-process server, or a network dial for a remote one.
+func (r *runner) dial() (rclient, error) {
+	cfg := &r.cfg
+	network := cfg.Network
+	if network == "" {
+		network = "tcp"
+	}
+	switch cfg.Transport {
+	case "mux":
+		if cfg.Server != nil {
+			cEnd, sEnd := net.Pipe()
+			go cfg.Server.HandleConn(sEnd)
+			return resv.NewMuxClient(cEnd), nil
+		}
+		ctx, cancel := rpcCtx()
+		defer cancel()
+		return resv.DialMux(ctx, network, cfg.Addr)
+	case "udp":
+		addr := cfg.Addr
+		if cfg.Server != nil {
+			// The in-process datagram target still needs a real socket:
+			// net.Pipe has stream semantics, and the datagram transport's
+			// loss model only makes sense over packets. One loopback
+			// listener serves the whole endpoint pool.
+			if r.udpLn == nil {
+				pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+				if err != nil {
+					return nil, fmt.Errorf("loadgen: udp listener: %w", err)
+				}
+				srv := cfg.Server
+				go func() { _ = srv.ServePacket(pc) }()
+				r.udpLn = pc
+			}
+			addr = r.udpLn.LocalAddr().String()
+		}
+		nc, err := net.Dial("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: dial udp %s: %w", addr, err)
+		}
+		conn := net.Conn(nc)
+		if cfg.UDPLossEvery > 0 {
+			conn = &lossyConn{Conn: nc, every: uint64(cfg.UDPLossEvery), sent: &r.lossSent, received: &r.lossRecv}
+		}
+		return resv.NewUDPClient(conn, resv.UDPConfig{Timeout: cfg.UDPTimeout}), nil
+	default: // classic
+		return dialClassic(cfg.Server, network, cfg.Addr)
+	}
+}
+
+// dialClassic opens one plain stream connection: net.Pipe into an
+// in-process server, or a network dial. The soft-state probe always uses
+// this transport.
+func dialClassic(server *resv.Server, network, addr string) (*resv.Client, error) {
 	if server != nil {
 		cEnd, sEnd := net.Pipe()
 		go server.HandleConn(sEnd)
@@ -376,7 +548,7 @@ func dial(server *resv.Server, network, addr string) (*resv.Client, error) {
 
 // connect opens one harness endpoint wired into the shared instrument set.
 func (r *runner) connect() (*endpoint, error) {
-	c, err := dial(r.cfg.Server, r.cfg.Network, r.cfg.Addr)
+	c, err := r.dial()
 	if err != nil {
 		return nil, err
 	}
@@ -679,6 +851,7 @@ func (r *runner) finish() {
 	r.res.Grants = int(r.cm.Grants.Load())
 	r.res.Teardowns = int(r.cm.Teardowns.Load())
 	r.res.Retries = int(r.cm.Retries.Load())
+	r.res.UDPRetransmits = int(r.cm.Retransmits.Load())
 	r.res.Latency = r.cm.RTT.Snapshot()
 	r.res.OverloadFraction, r.res.OverloadSigma = ratio(r.overload, r.time)
 	r.res.DenyRate, r.res.DenySigma = ratio(r.firstDen, r.firstAtt)

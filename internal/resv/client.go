@@ -13,6 +13,14 @@ import (
 // Client speaks the resv protocol over a single connection. One request is
 // in flight at a time; methods are safe for concurrent use (they serialize
 // on an internal mutex).
+//
+// Over a stream transport (TCP, Unix, net.Pipe) a round trip is one write
+// and one read. Over a datagram transport (NewUDPClient/DialUDP) the
+// client owns reliability: it retransmits the request on a reply timeout,
+// skips stale duplicated replies, and leans on the server's retransmit
+// semantics — reserve dedups against the live grant, refresh is
+// idempotent, and a teardown answered "unknown flow" after a retransmit
+// means an earlier flight already succeeded.
 type Client struct {
 	mu sync.Mutex
 	nc net.Conn
@@ -20,9 +28,41 @@ type Client struct {
 	// array would escape through the net.Conn interface call; these keep
 	// the steady-state round trip at zero allocations.
 	wbuf, rbuf [FrameSize]byte
+	// udp, when non-nil, switches round trips to datagram mode with the
+	// given retransmit parameters.
+	udp *UDPConfig
+	// udpStale marks that a previous datagram round trip may have left
+	// late replies queued in the socket: it retransmitted (a reply that
+	// was delayed rather than lost means two answers on the wire) or gave
+	// up with flights unanswered. Before the next request the socket is
+	// swept — a stale DENY or GRANT for a re-requested flow ID would be
+	// indistinguishable from the new answer. Guarded by mu.
+	udpStale bool
 	// metrics, if non-nil, observes every round trip (atomics-only; a set
 	// may be shared across clients). Install with SetMetrics before use.
 	metrics *ClientMetrics
+}
+
+// UDPConfig tunes the datagram transport's request-level retransmit.
+type UDPConfig struct {
+	// Timeout is how long one flight waits for a reply before the request
+	// is retransmitted (default 250ms).
+	Timeout time.Duration
+	// MaxFlights caps total sends per request, first attempt included
+	// (default 4): a request still unanswered after MaxFlights·Timeout
+	// fails the round trip.
+	MaxFlights int
+}
+
+// withDefaults fills unset retransmit parameters.
+func (cfg UDPConfig) withDefaults() UDPConfig {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	if cfg.MaxFlights < 1 {
+		cfg.MaxFlights = 4
+	}
+	return cfg
 }
 
 // Dial connects to a resv server at the given network address.
@@ -38,6 +78,27 @@ func Dial(ctx context.Context, network, addr string) (*Client, error) {
 // NewClient wraps an established connection (e.g. one end of a net.Pipe).
 func NewClient(nc net.Conn) *Client {
 	return &Client{nc: nc}
+}
+
+// DialUDP connects to a resv server's datagram endpoint. The connection is
+// a connected UDP socket: the OS filters datagrams to the server's address,
+// so readDatagram never sees unrelated traffic.
+func DialUDP(ctx context.Context, addr string, cfg UDPConfig) (*Client, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("resv: dial udp %s: %w", addr, err)
+	}
+	return NewUDPClient(nc, cfg), nil
+}
+
+// NewUDPClient wraps an established datagram connection (a connected
+// *net.UDPConn, or any net.Conn with datagram semantics — each Write sends
+// one datagram, each Read returns one) in a client running the datagram
+// transport's retransmit protocol.
+func NewUDPClient(nc net.Conn, cfg UDPConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{nc: nc, udp: &cfg}
 }
 
 // Close tears down the connection; the server releases all reservations
@@ -70,6 +131,9 @@ func (c *Client) readFrame() (Frame, error) {
 func (c *Client) roundTrip(ctx context.Context, req Frame) (reply Frame, sent bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.udp != nil {
+		return c.roundTripUDP(ctx, req)
+	}
 	deadline, ok := ctx.Deadline()
 	if !ok {
 		deadline = time.Time{}
@@ -105,6 +169,156 @@ func (c *Client) roundTrip(ctx context.Context, req Frame) (reply Frame, sent bo
 		c.metrics.observe(req, reply, time.Since(t0), nil)
 	}
 	return reply, true, nil
+}
+
+// roundTripUDP is the datagram round trip: send the request, wait up to one
+// flight timeout for a matching reply, retransmit on silence, give up after
+// MaxFlights. Caller holds c.mu. Non-matching replies — late duplicates
+// from an earlier flight's retransmit, or garbage — are skipped without
+// consuming flight budget; only the timer bounds them.
+func (c *Client) roundTripUDP(ctx context.Context, req Frame) (Frame, bool, error) {
+	if c.udpStale {
+		c.udpStale = false
+		c.drainUDP()
+	}
+	var overall time.Time // zero: no overall deadline
+	if d, ok := ctx.Deadline(); ok {
+		overall = d
+	}
+	var t0 time.Time
+	if c.metrics != nil {
+		t0 = time.Now()
+	}
+	sent := false
+	fail := func(err error) (Frame, bool, error) {
+		// Flights that went out unanswered may still draw replies after we
+		// give up; sweep them before the next request touches the socket.
+		if sent {
+			c.udpStale = true
+		}
+		if c.metrics != nil {
+			c.metrics.observe(req, Frame{}, 0, err)
+		}
+		return Frame{}, sent, err
+	}
+	for flight := 1; flight <= c.udp.MaxFlights; flight++ {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		if flight > 1 && c.metrics != nil {
+			c.metrics.Retransmits.Inc()
+		}
+		if err := c.writeFrame(req); err != nil {
+			// A datagram send fails only locally (closed socket, bad
+			// address); on-path loss is silent and handled by the timer.
+			return fail(fmt.Errorf("resv: send %s: %w", req.Type, err))
+		}
+		sent = true
+		rto := time.Now().Add(c.udp.Timeout)
+		if !overall.IsZero() && overall.Before(rto) {
+			rto = overall
+		}
+		if err := c.nc.SetReadDeadline(rto); err != nil {
+			return fail(fmt.Errorf("resv: set deadline: %w", err))
+		}
+		for {
+			reply, err := c.readDatagram()
+			if err != nil {
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					break // flight expired; retransmit
+				}
+				return fail(fmt.Errorf("resv: awaiting reply to %s: %w", req.Type, err))
+			}
+			if !udpReplyMatches(req, reply) {
+				continue
+			}
+			// A teardown answered "unknown flow" after a retransmit means an
+			// earlier flight tore the flow down and its reply was lost — the
+			// operation succeeded, so synthesize the confirmation.
+			if flight > 1 && req.Type == MsgTeardown && reply.Type == MsgError &&
+				ErrorCode(reply.Value) == ErrCodeUnknownFlow {
+				reply = Frame{Type: MsgTeardownOK, FlowID: req.FlowID}
+			}
+			if flight > 1 {
+				// A retransmit means up to flight replies are on the wire
+				// and we consumed one. If the reply was late rather than
+				// lost, the extras will land in the socket buffer, where a
+				// later re-request of the same flow ID could mistake one —
+				// a stale DENY, say — for its own answer.
+				c.udpStale = true
+			}
+			if c.metrics != nil {
+				c.metrics.Flights.Record(uint64(flight))
+				c.metrics.observe(req, reply, time.Since(t0), nil)
+			}
+			return reply, true, nil
+		}
+	}
+	return fail(fmt.Errorf("resv: %s flow %d: no reply after %d flights of %v",
+		req.Type, req.FlowID, c.udp.MaxFlights, c.udp.Timeout))
+}
+
+// readDatagram reads one datagram into the scratch buffer and decodes it.
+// Unlike readFrame it never spans reads: a runt or oversized datagram is a
+// decode error for that packet alone, not a framing desync. Caller holds
+// c.mu.
+func (c *Client) readDatagram() (Frame, error) {
+	n, err := c.nc.Read(c.rbuf[:])
+	if err != nil {
+		return Frame{}, err
+	}
+	f, err := DecodeDatagram(c.rbuf[:n])
+	if err != nil {
+		// Treat garbage like a non-matching reply: report a frame that
+		// matches nothing so the caller keeps waiting out the flight.
+		return Frame{}, nil
+	}
+	return f, nil
+}
+
+// drainUDP sweeps leftover replies from an earlier round trip out of the
+// socket. Everything read here predates the next request, so discarding it
+// is always correct; keeping it could alias a later exchange for the same
+// flow ID. The window is a fraction of the flight timeout: long enough on
+// any path for a trailing duplicate to land, short enough that the cost is
+// only paid after the rare round trip that retransmitted or gave up.
+// Caller holds c.mu.
+func (c *Client) drainUDP() {
+	window := c.udp.Timeout / 2
+	if window < time.Millisecond {
+		window = time.Millisecond
+	}
+	if err := c.nc.SetReadDeadline(time.Now().Add(window)); err != nil {
+		return
+	}
+	for {
+		if _, err := c.nc.Read(c.rbuf[:]); err != nil {
+			return
+		}
+	}
+}
+
+// udpReplyMatches reports whether reply can answer req: right flow, and a
+// type the request could elicit. Anything else is a stale duplicate from an
+// earlier exchange. (A stale MsgError for the same flow is indistinguishable
+// from a fresh one and may be matched; errors carry no sequence numbers in
+// the 20-byte frame.)
+func udpReplyMatches(req, reply Frame) bool {
+	switch req.Type {
+	case MsgRequest:
+		return reply.FlowID == req.FlowID &&
+			(reply.Type == MsgGrant || reply.Type == MsgDeny || reply.Type == MsgError)
+	case MsgTeardown:
+		return reply.FlowID == req.FlowID &&
+			(reply.Type == MsgTeardownOK || reply.Type == MsgError)
+	case MsgRefresh:
+		return reply.FlowID == req.FlowID &&
+			(reply.Type == MsgRefreshOK || reply.Type == MsgError)
+	case MsgStats:
+		return reply.Type == MsgStatsReply
+	default:
+		return true
+	}
 }
 
 // Reserve requests a reservation for flowID with the given bandwidth
@@ -302,6 +516,15 @@ const bestEffortTeardownTimeout = time.Second
 func (c *Client) teardownBestEffort(flowID uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.udp != nil {
+		// The datagram round trip already retransmits and skips stale
+		// replies; on a TTL server even total loss here only delays the
+		// release until the soft state expires.
+		ctx, cancel := context.WithTimeout(context.Background(), bestEffortTeardownTimeout)
+		defer cancel()
+		_, _, _ = c.roundTripUDP(ctx, Frame{Type: MsgTeardown, FlowID: flowID})
+		return
+	}
 	if err := c.nc.SetDeadline(time.Now().Add(bestEffortTeardownTimeout)); err != nil {
 		return
 	}

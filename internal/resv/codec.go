@@ -173,6 +173,19 @@ func DecodeFrames(dst []Frame, buf []byte) ([]Frame, []byte, error) {
 	return dst, buf, nil
 }
 
+// DecodeDatagram parses the one frame a datagram-mode packet must carry:
+// exactly FrameSize bytes, decoded by the same rules as DecodeFrame. The
+// datagram transport never coalesces frames — UDP already preserves
+// message boundaries, and one-frame datagrams make request-level
+// retransmission trivial — so a short, long, or torn payload is rejected
+// outright rather than buffered for a next read that will never come.
+func DecodeDatagram(b []byte) (Frame, error) {
+	if len(b) != FrameSize {
+		return Frame{}, fmt.Errorf("%w: datagram length %d, want exactly %d", ErrBadFrame, len(b), FrameSize)
+	}
+	return DecodeFrame(b)
+}
+
 // frameBufPool recycles frame scratch buffers for WriteFrame/ReadFrame. A
 // local array would escape through the io.Writer/io.Reader interface call
 // (the function is past the inlining budget, so no devirtualization saves

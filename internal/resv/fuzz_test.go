@@ -29,6 +29,40 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecodeDatagram exercises the datagram decoder with truncated,
+// duplicated, and reordered payloads: it must never panic, must accept
+// exactly what DecodeFrame accepts at exactly FrameSize bytes, and must
+// reject every other length outright — a datagram is one frame or garbage,
+// never a partial to buffer.
+func FuzzDecodeDatagram(f *testing.F) {
+	one := AppendFrame(nil, Frame{Type: MsgRequest, FlowID: 7, Value: 2})
+	f.Add(one)                                      // clean datagram
+	f.Add(one[:FrameSize-1])                        // truncated by one byte
+	f.Add(one[:3])                                  // deep truncation
+	f.Add(append(append([]byte{}, one...), one...)) // duplicated payload (two frames glued)
+	swapped := append([]byte{}, one...)
+	swapped[4], swapped[11] = swapped[11], swapped[4] // reordered bytes inside the frame
+	f.Add(swapped)
+	f.Add([]byte{})
+	f.Add(make([]byte, FrameSize+1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeDatagram(data)
+		if len(data) != FrameSize {
+			if err == nil {
+				t.Fatalf("DecodeDatagram accepted %d bytes, want FrameSize-only", len(data))
+			}
+			return
+		}
+		want, werr := DecodeFrame(data)
+		if (err == nil) != (werr == nil) {
+			t.Fatalf("DecodeDatagram err=%v, DecodeFrame err=%v — must agree at FrameSize", err, werr)
+		}
+		if err == nil && fr != want && (fr.Value == fr.Value || want.Value == want.Value) { // NaN-tolerant
+			t.Fatalf("DecodeDatagram %+v vs DecodeFrame %+v", fr, want)
+		}
+	})
+}
+
 // FuzzDecodeFrames exercises the multi-frame decoder: it must never panic,
 // must agree with frame-at-a-time DecodeFrame on every prefix, and must
 // leave a remainder that is exactly the undecoded tail (partial trailing

@@ -29,8 +29,20 @@ type ServerMetrics struct {
 	Refreshes *obs.Counter
 	Stats     *obs.Counter
 	Errors    *obs.Counter
-	// Connections tracks live client connections.
+	// DupReserves counts retransmitted reserves answered from the live
+	// entry (datagram transport): grant frames re-sent without a second
+	// admission. Grants + DupReserves = grant frames on the wire;
+	// Grants alone = admissions.
+	DupReserves *obs.Counter
+	// Datagrams counts UDP datagrams received; BadDatagrams counts the
+	// ones dropped before dispatch (wrong size, bad magic/version/type).
+	Datagrams    *obs.Counter
+	BadDatagrams *obs.Counter
+	// Connections tracks live client connections; UDPPeers tracks live
+	// datagram virtual connections (distinct source addresses holding
+	// flows or mid-dispatch).
 	Connections *obs.Gauge
+	UDPPeers    *obs.Gauge
 	// BatchFrames is the frames-per-read-batch histogram — the batched
 	// frame I/O's coalescing factor. RequestNS is the per-request service
 	// time in nanoseconds (decode + dispatch, amortized over the batch).
@@ -41,18 +53,22 @@ type ServerMetrics struct {
 // newServerMetrics registers the server instrument set in reg.
 func newServerMetrics(reg *obs.Registry) *ServerMetrics {
 	return &ServerMetrics{
-		Reserves:    reg.Counter("resv_reserves_total", "admission requests received"),
-		Grants:      reg.Counter("resv_grants_total", "reservations granted"),
-		Denials:     reg.Counter("resv_denials_total", "reservations denied (link full)"),
-		Teardowns:   reg.Counter("resv_teardowns_total", "explicit teardowns"),
-		Releases:    reg.Counter("resv_releases_total", "flows released by connection drops"),
-		Expiries:    reg.Counter("resv_expiries_total", "soft-state TTL expirations"),
-		Refreshes:   reg.Counter("resv_refreshes_total", "soft-state refreshes"),
-		Stats:       reg.Counter("resv_stats_total", "stats requests"),
-		Errors:      reg.Counter("resv_errors_total", "error replies"),
-		Connections: reg.Gauge("resv_connections", "live client connections"),
-		BatchFrames: reg.Histogram("resv_batch_frames", "frames per decoded read batch"),
-		RequestNS:   reg.Histogram("resv_request_ns", "per-request service time, nanoseconds"),
+		Reserves:     reg.Counter("resv_reserves_total", "admission requests received"),
+		Grants:       reg.Counter("resv_grants_total", "reservations granted"),
+		Denials:      reg.Counter("resv_denials_total", "reservations denied (link full)"),
+		Teardowns:    reg.Counter("resv_teardowns_total", "explicit teardowns"),
+		Releases:     reg.Counter("resv_releases_total", "flows released by connection drops"),
+		Expiries:     reg.Counter("resv_expiries_total", "soft-state TTL expirations"),
+		Refreshes:    reg.Counter("resv_refreshes_total", "soft-state refreshes"),
+		Stats:        reg.Counter("resv_stats_total", "stats requests"),
+		Errors:       reg.Counter("resv_errors_total", "error replies"),
+		DupReserves:  reg.Counter("resv_dup_reserves_total", "retransmitted reserves answered from the live grant"),
+		Datagrams:    reg.Counter("resv_datagrams_total", "UDP datagrams received"),
+		BadDatagrams: reg.Counter("resv_bad_datagrams_total", "UDP datagrams dropped before dispatch"),
+		Connections:  reg.Gauge("resv_connections", "live client connections"),
+		UDPPeers:     reg.Gauge("resv_udp_peers", "live datagram virtual connections"),
+		BatchFrames:  reg.Histogram("resv_batch_frames", "frames per decoded read batch"),
+		RequestNS:    reg.Histogram("resv_request_ns", "per-request service time, nanoseconds"),
 	}
 }
 
@@ -62,6 +78,9 @@ func newServerMetrics(reg *obs.Registry) *ServerMetrics {
 type batchStats struct {
 	reserves, grants, denials         uint64
 	teardowns, refreshes, stats, errs uint64
+	// dups counts grant frames re-sent for retransmitted reserves;
+	// dispatch moves them out of grants so grants counts admissions only.
+	dups uint64
 }
 
 // count classifies one dispatched request/reply pair.
@@ -116,6 +135,9 @@ func (m *ServerMetrics) flushBatch(b *batchStats, nframes int, elapsed time.Dura
 	if b.errs > 0 {
 		m.Errors.Add(b.errs)
 	}
+	if b.dups > 0 {
+		m.DupReserves.Add(b.dups)
+	}
 	*b = batchStats{}
 }
 
@@ -132,21 +154,28 @@ type ClientMetrics struct {
 	Retries   *obs.Counter // retry attempts performed by ReserveWithRetry
 	Errors    *obs.Counter // MsgError replies
 	Failures  *obs.Counter // transport-level round-trip failures
-	RTT       *obs.Histogram
+	// Retransmits counts datagram re-sends after a reply timeout; Flights
+	// is the sends-per-round-trip histogram (1 = no loss). Both stay zero
+	// on stream transports.
+	Retransmits *obs.Counter
+	Flights     *obs.Histogram
+	RTT         *obs.Histogram
 }
 
 // NewClientMetrics registers a client instrument set in reg.
 func NewClientMetrics(reg *obs.Registry) *ClientMetrics {
 	return &ClientMetrics{
-		Requests:  reg.Counter("resv_client_requests_total", "reservation requests sent"),
-		Grants:    reg.Counter("resv_client_grants_total", "grants received"),
-		Denials:   reg.Counter("resv_client_denials_total", "denials received"),
-		Teardowns: reg.Counter("resv_client_teardowns_total", "teardown confirmations received"),
-		Refreshes: reg.Counter("resv_client_refreshes_total", "refresh confirmations received"),
-		Retries:   reg.Counter("resv_client_retries_total", "retry attempts performed"),
-		Errors:    reg.Counter("resv_client_errors_total", "error replies received"),
-		Failures:  reg.Counter("resv_client_failures_total", "transport round-trip failures"),
-		RTT:       reg.Histogram("resv_client_rtt_ns", "request round-trip time, nanoseconds"),
+		Requests:    reg.Counter("resv_client_requests_total", "reservation requests sent"),
+		Grants:      reg.Counter("resv_client_grants_total", "grants received"),
+		Denials:     reg.Counter("resv_client_denials_total", "denials received"),
+		Teardowns:   reg.Counter("resv_client_teardowns_total", "teardown confirmations received"),
+		Refreshes:   reg.Counter("resv_client_refreshes_total", "refresh confirmations received"),
+		Retries:     reg.Counter("resv_client_retries_total", "retry attempts performed"),
+		Errors:      reg.Counter("resv_client_errors_total", "error replies received"),
+		Failures:    reg.Counter("resv_client_failures_total", "transport round-trip failures"),
+		Retransmits: reg.Counter("resv_client_retransmits_total", "datagram re-sends after reply timeout"),
+		Flights:     reg.Histogram("resv_client_flights", "datagram sends per round trip"),
+		RTT:         reg.Histogram("resv_client_rtt_ns", "request round-trip time, nanoseconds"),
 	}
 }
 

@@ -213,10 +213,8 @@ func TestInstrumentedDispatchZeroAlloc(t *testing.T) {
 	reserve := Frame{Type: MsgRequest, FlowID: 42, Value: 1}
 	teardown := Frame{Type: MsgTeardown, FlowID: 42}
 	allocs := testing.AllocsPerRun(1000, func() {
-		r1 := s.dispatch(c, reserve)
-		bs.count(reserve, r1)
-		r2 := s.dispatch(c, teardown)
-		bs.count(teardown, r2)
+		s.dispatch(c, reserve, &bs)
+		s.dispatch(c, teardown, &bs)
 		s.metrics.flushBatch(&bs, 2, 1500*time.Nanosecond)
 	})
 	if allocs != 0 {

@@ -1,0 +1,451 @@
+package resv
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sync"
+	"time"
+)
+
+// The multiplexed stream transport (DESIGN.md §11): one TCP connection
+// carries many concurrent flows. Callers from any number of goroutines
+// hand frames to a single writer goroutine, which coalesces whatever has
+// queued into one vectored write (net.Buffers → writev), while a single
+// reader goroutine fans replies back out to the waiting callers. The
+// server already pipelines — it answers frames in arrival order on each
+// connection — so no framing changes are needed: replies to flow-scoped
+// requests are matched by FlowID, and stats replies (whose FlowID field
+// carries kmax, not a flow) are matched first-in-first-out, which arrival
+// order makes exact.
+//
+// Compared to connection-per-flow this removes the goroutine, socket, and
+// kernel buffers per flow: 100k flows cost one connection, two goroutines,
+// and a map entry per in-flight request. The trade is RSVP fate-sharing
+// granularity — dropping the connection releases every flow it carries.
+
+// maxMuxBatch caps frames per vectored flush. 64 frames is 1280 bytes —
+// one TCP segment — and matches the server's read-batch horizon.
+const maxMuxBatch = 64
+
+// muxCall is one in-flight request's rendezvous. done is buffered so the
+// deliverer never blocks; reply/err are valid after a receive from done.
+type muxCall struct {
+	reply Frame
+	err   error
+	// abandoned marks a stats call whose waiter gave up (context expired).
+	// It keeps its statsq slot — the reply is still on its way, and FIFO
+	// matching needs the slot consumed by exactly that reply. Guarded by
+	// MuxClient.mu.
+	abandoned bool
+	done      chan struct{}
+}
+
+// MuxClient multiplexes many flows' requests over one stream connection.
+// Methods are safe for concurrent use and do not serialize on each other:
+// requests from different goroutines coalesce into shared vectored writes.
+// At most one request may be in flight per flow ID at a time.
+type MuxClient struct {
+	nc      net.Conn
+	metrics *ClientMetrics
+
+	mu      sync.Mutex
+	pending map[uint64]*muxCall // in-flight flow-scoped requests
+	statsq  []*muxCall          // in-flight stats requests, send order
+	closed  bool
+	err     error // terminal error, set once with closed
+
+	sendq chan Frame
+	dead  chan struct{} // closed by fail; unblocks senders and the writer
+	pool  sync.Pool
+	wg    sync.WaitGroup
+}
+
+// NewMuxClient wraps an established stream connection in a multiplexing
+// client and starts its writer and reader goroutines. Close releases all
+// flows reserved through it (connection-scoped soft state, as with Client).
+func NewMuxClient(nc net.Conn) *MuxClient {
+	m := &MuxClient{
+		nc:      nc,
+		pending: make(map[uint64]*muxCall),
+		sendq:   make(chan Frame, maxMuxBatch),
+		dead:    make(chan struct{}),
+	}
+	m.pool.New = func() interface{} {
+		return &muxCall{done: make(chan struct{}, 1)}
+	}
+	m.wg.Add(2)
+	go m.writer()
+	go m.reader()
+	return m
+}
+
+// DialMux connects to a resv server and multiplexes flows over the
+// resulting stream connection.
+func DialMux(ctx context.Context, network, addr string) (*MuxClient, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("resv: dial %s %s: %w", network, addr, err)
+	}
+	return NewMuxClient(nc), nil
+}
+
+// SetMetrics installs a client instrument set (see NewClientMetrics); nil
+// disables instrumentation. Not safe to call concurrently with requests.
+func (m *MuxClient) SetMetrics(cm *ClientMetrics) { m.metrics = cm }
+
+// Close tears down the connection and fails every in-flight request; the
+// server releases all reservations held through the connection.
+func (m *MuxClient) Close() error {
+	m.fail(net.ErrClosed)
+	err := m.nc.Close()
+	m.wg.Wait()
+	return err
+}
+
+// fail marks the client dead with err (first caller wins), fails every
+// in-flight call, and unblocks queued senders.
+func (m *MuxClient) fail(err error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.err = err
+	pending, statsq := m.pending, m.statsq
+	m.pending, m.statsq = nil, nil
+	close(m.dead)
+	m.mu.Unlock()
+	for _, call := range pending {
+		call.err = err
+		call.done <- struct{}{}
+	}
+	for _, call := range statsq {
+		call.err = err
+		call.done <- struct{}{}
+	}
+}
+
+// writer drains sendq into vectored writes: every frame queued by the time
+// the writer gets scheduled goes out in one writev (one plain write when
+// only a single frame is waiting — net.Buffers with one element degrades
+// to that anyway, minus the slice bookkeeping).
+func (m *MuxClient) writer() {
+	defer m.wg.Done()
+	slab := make([]byte, maxMuxBatch*FrameSize)
+	iov := make(net.Buffers, 0, maxMuxBatch)
+	for {
+		var f Frame
+		select {
+		case f = <-m.sendq:
+		case <-m.dead:
+			return
+		}
+		putFrame((*[FrameSize]byte)(slab[0:FrameSize]), f)
+		n := 1
+	coalesce:
+		for n < maxMuxBatch {
+			select {
+			case f = <-m.sendq:
+				putFrame((*[FrameSize]byte)(slab[n*FrameSize:(n+1)*FrameSize]), f)
+				n++
+			default:
+				break coalesce
+			}
+		}
+		var err error
+		if n == 1 {
+			_, err = m.nc.Write(slab[:FrameSize])
+		} else {
+			iov = iov[:0]
+			for i := 0; i < n; i++ {
+				iov = append(iov, slab[i*FrameSize:(i+1)*FrameSize])
+			}
+			bufs := iov
+			_, err = bufs.WriteTo(m.nc)
+		}
+		if err != nil {
+			m.fail(fmt.Errorf("resv: mux write: %w", err))
+			return
+		}
+	}
+}
+
+// reader fans replies back out: flow-scoped replies to their pending call
+// by FlowID, stats replies to the statsq head. A reply with no waiter — a
+// call canceled between send and reply — is dropped on the floor.
+func (m *MuxClient) reader() {
+	defer m.wg.Done()
+	br := bufio.NewReaderSize(m.nc, maxMuxBatch*FrameSize)
+	for {
+		reply, err := ReadFrame(br)
+		if err != nil {
+			m.fail(fmt.Errorf("resv: mux read: %w", err))
+			return
+		}
+		m.mu.Lock()
+		var call *muxCall
+		if reply.Type == MsgStatsReply {
+			if len(m.statsq) > 0 {
+				call = m.statsq[0]
+				m.statsq[0] = nil
+				m.statsq = m.statsq[1:]
+				if call.abandoned {
+					// The waiter is gone; the slot existed only to keep the
+					// FIFO aligned. Recycle the call here.
+					call.abandoned = false
+					m.pool.Put(call)
+					call = nil
+				}
+			}
+		} else {
+			if c, ok := m.pending[reply.FlowID]; ok {
+				delete(m.pending, reply.FlowID)
+				call = c
+			}
+		}
+		m.mu.Unlock()
+		if call != nil {
+			call.reply = reply
+			call.done <- struct{}{}
+		}
+	}
+}
+
+// roundTrip registers a call, queues the frame, and waits for its reply or
+// the context. The zero-loss fast path — register, channel send, channel
+// receive, recycle — allocates nothing.
+func (m *MuxClient) roundTrip(ctx context.Context, req Frame) (Frame, error) {
+	call := m.pool.Get().(*muxCall)
+	call.reply, call.err = Frame{}, nil
+	var t0 time.Time
+	if m.metrics != nil {
+		t0 = time.Now()
+	}
+	stats := req.Type == MsgStats
+
+	m.mu.Lock()
+	if m.closed {
+		err := m.err
+		m.mu.Unlock()
+		m.pool.Put(call)
+		return Frame{}, fmt.Errorf("resv: mux: client closed: %w", err)
+	}
+	if stats {
+		m.statsq = append(m.statsq, call)
+	} else {
+		if _, dup := m.pending[req.FlowID]; dup {
+			m.mu.Unlock()
+			m.pool.Put(call)
+			return Frame{}, fmt.Errorf("resv: mux: flow %d already has a request in flight", req.FlowID)
+		}
+		m.pending[req.FlowID] = call
+	}
+	m.mu.Unlock()
+
+	select {
+	case m.sendq <- req:
+	case <-m.dead:
+		// fail already delivered the error into the call.
+		<-call.done
+		return m.finish(req, call, t0)
+	case <-ctx.Done():
+		// The frame never reached sendq: no reply will come, so the
+		// registration can be withdrawn outright (for stats, the FIFO slot
+		// must go too — nothing will consume it).
+		m.withdraw(req, call, stats)
+		return Frame{}, ctx.Err()
+	}
+
+	select {
+	case <-call.done:
+		return m.finish(req, call, t0)
+	case <-ctx.Done():
+		if m.abandon(req, call, stats) {
+			if m.metrics != nil {
+				m.metrics.observe(req, Frame{}, 0, ctx.Err())
+			}
+			return Frame{}, ctx.Err()
+		}
+		// Delivery raced the cancellation; the reply is here — use it.
+		<-call.done
+		return m.finish(req, call, t0)
+	}
+}
+
+// finish consumes a delivered call: record metrics, recycle, return.
+func (m *MuxClient) finish(req Frame, call *muxCall, t0 time.Time) (Frame, error) {
+	reply, err := call.reply, call.err
+	m.pool.Put(call)
+	if m.metrics != nil {
+		m.metrics.observe(req, reply, time.Since(t0), err)
+	}
+	if err != nil {
+		return Frame{}, err
+	}
+	return reply, nil
+}
+
+// withdraw removes a call whose frame was never sent. Caller does not hold
+// m.mu.
+func (m *MuxClient) withdraw(req Frame, call *muxCall, stats bool) {
+	m.mu.Lock()
+	if stats {
+		for i, c := range m.statsq {
+			if c == call {
+				m.statsq = append(m.statsq[:i], m.statsq[i+1:]...)
+				break
+			}
+		}
+	} else if m.pending[req.FlowID] == call {
+		delete(m.pending, req.FlowID)
+	}
+	m.mu.Unlock()
+	m.pool.Put(call)
+}
+
+// abandon gives up on a sent call. It reports true when the waiter may
+// leave (the reply, when it arrives, is dropped — or, for stats, consumed
+// into the abandoned slot) and false when delivery already happened, in
+// which case call.done holds the reply. Caller does not hold m.mu.
+func (m *MuxClient) abandon(req Frame, call *muxCall, stats bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if stats {
+		for _, c := range m.statsq {
+			if c == call {
+				// Keep the slot for FIFO alignment; the reader recycles it.
+				call.abandoned = true
+				return true
+			}
+		}
+		return false
+	}
+	if m.pending[req.FlowID] == call {
+		delete(m.pending, req.FlowID)
+		// No deliverer can hold the call anymore; it is ours to recycle.
+		// The late reply finds no pending entry and is dropped. NOTE: the
+		// request may still take effect server-side — Reserve callers that
+		// time out should tear the flow down (ReserveWithRetry does).
+		m.pool.Put(call)
+		return true
+	}
+	return false
+}
+
+// Reserve requests a reservation for flowID with the given bandwidth
+// demand. It reports whether the reservation was granted, and the granted
+// share when it was. Reservations live until torn down, expired by the
+// server's TTL, or the MuxClient's connection closes.
+func (m *MuxClient) Reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, err error) {
+	reply, err := m.roundTrip(ctx, Frame{Type: MsgRequest, FlowID: flowID, Value: bandwidth})
+	if err != nil {
+		return false, 0, err
+	}
+	switch reply.Type {
+	case MsgGrant:
+		return true, reply.Value, nil
+	case MsgDeny:
+		return false, 0, nil
+	case MsgError:
+		return false, 0, fmt.Errorf("resv: reserve flow %d: server error code %d", flowID, uint64(reply.Value))
+	default:
+		return false, 0, fmt.Errorf("resv: reserve flow %d: unexpected %s reply", flowID, reply.Type)
+	}
+}
+
+// Teardown releases flowID's reservation.
+func (m *MuxClient) Teardown(ctx context.Context, flowID uint64) error {
+	reply, err := m.roundTrip(ctx, Frame{Type: MsgTeardown, FlowID: flowID})
+	if err != nil {
+		return err
+	}
+	switch reply.Type {
+	case MsgTeardownOK:
+		return nil
+	case MsgError:
+		return fmt.Errorf("resv: teardown flow %d: server error code %d", flowID, uint64(reply.Value))
+	default:
+		return fmt.Errorf("resv: teardown flow %d: unexpected %s reply", flowID, reply.Type)
+	}
+}
+
+// Refresh renews flowID's soft-state deadline on a TTL server. It returns
+// the server's TTL (0 when the server never expires reservations).
+func (m *MuxClient) Refresh(ctx context.Context, flowID uint64) (ttl time.Duration, err error) {
+	reply, err := m.roundTrip(ctx, Frame{Type: MsgRefresh, FlowID: flowID})
+	if err != nil {
+		return 0, err
+	}
+	switch reply.Type {
+	case MsgRefreshOK:
+		return time.Duration(reply.Value * float64(time.Second)), nil
+	case MsgError:
+		return 0, fmt.Errorf("resv: refresh flow %d: server error code %d", flowID, uint64(reply.Value))
+	default:
+		return 0, fmt.Errorf("resv: refresh flow %d: unexpected %s reply", flowID, reply.Type)
+	}
+}
+
+// Stats returns the server's admission threshold and active reservation
+// count.
+func (m *MuxClient) Stats(ctx context.Context) (kmax, active int, err error) {
+	reply, err := m.roundTrip(ctx, Frame{Type: MsgStats})
+	if err != nil {
+		return 0, 0, err
+	}
+	if reply.Type != MsgStatsReply {
+		return 0, 0, fmt.Errorf("resv: stats: unexpected %s reply", reply.Type)
+	}
+	return int(reply.FlowID), int(reply.Value), nil
+}
+
+// ReserveWithRetry requests a reservation, retrying denials per the policy
+// until granted, the attempts are exhausted, or the context expires — the
+// MuxClient counterpart of Client.ReserveWithRetry, sharing its semantics:
+// all attempts denied returns granted = false with a nil error, and an
+// attempt that fails after its request may have reached the server tears
+// the flow down rather than leak a grant nobody saw.
+func (m *MuxClient) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth float64, policy RetryPolicy) (granted bool, share float64, retries int, err error) {
+	if err := policy.Validate(); err != nil {
+		return false, 0, 0, err
+	}
+	delay := policy.BaseDelay
+	for attempt := 1; ; attempt++ {
+		ok, sh, err := m.Reserve(ctx, flowID, bandwidth)
+		if err != nil {
+			if ctx.Err() != nil {
+				// The request may have been sent and granted after the
+				// waiter left. Best-effort release, as with Client.
+				tctx, cancel := context.WithTimeout(context.Background(), bestEffortTeardownTimeout)
+				_ = m.Teardown(tctx, flowID)
+				cancel()
+			}
+			return false, 0, attempt - 1, err
+		}
+		if ok {
+			return true, sh, attempt - 1, nil
+		}
+		if attempt >= policy.MaxAttempts {
+			return false, 0, attempt - 1, nil
+		}
+		if m.metrics != nil {
+			m.metrics.Retries.Inc()
+		}
+		d := delay
+		if policy.Jitter > 0 && d > 0 {
+			j := 1 + policy.Jitter*(2*rand.Float64()-1)
+			d = time.Duration(float64(d) * j)
+		}
+		select {
+		case <-ctx.Done():
+			return false, 0, attempt - 1, ctx.Err()
+		case <-time.After(d):
+		}
+		delay = time.Duration(float64(delay) * policy.Multiplier)
+	}
+}

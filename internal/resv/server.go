@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,8 +27,9 @@ import (
 //     unless the client refreshes them (Client.Refresh / Client.KeepAlive).
 //
 // The serving plane is built for throughput (DESIGN.md §8):
-//   - soft state is lock-striped across numShards shards keyed by a hash
-//     of the flow ID, each with its own mutex, flow table, and TTL wheel;
+//   - soft state is lock-striped across shards keyed by a hash of the
+//     flow ID, each with its own mutex, flow table, and TTL wheel; the
+//     stripe count autotunes from GOMAXPROCS (see shardCountFor);
 //   - the admission decision itself is a CAS on a single atomic counter,
 //     so concurrent reserves never over-admit and the reject path (and
 //     Active/Allocated/Stats) never takes a lock;
@@ -57,7 +60,24 @@ type Server struct {
 	// CAS-bounded by capacity the same way.
 	allocBits atomic.Uint64
 
-	shards [numShards]shard
+	// epochSeq issues each installed flow a unique, monotonically
+	// increasing epoch, so a retransmitted reserve answered from the live
+	// entry is observably the same admission (not a second one) and a
+	// reincarnated flow ID is observably a different one.
+	epochSeq atomic.Uint64
+
+	// shards is the lock-striped soft state; the stripe count is a power
+	// of two chosen at construction from GOMAXPROCS, and shardShift is the
+	// matching hash shift (64 - log2(len(shards))).
+	shards     []shard
+	shardShift uint
+
+	// udpMu guards udpPeers, the datagram transport's per-source-address
+	// virtual connections (udp.go). A peer's inflight count is also
+	// guarded by udpMu; a peer may be reaped only when it owns no flows
+	// and no reader goroutine is mid-dispatch on it.
+	udpMu    sync.Mutex
+	udpPeers map[string]*conn
 
 	// reg/metrics are the server's observability plane (DESIGN.md §9):
 	// always on, atomics-only, flushed once per frame batch on the hot
@@ -80,11 +100,11 @@ type Server struct {
 }
 
 const (
-	// shardBits/numShards fix the lock-stripe width of the soft-state
-	// tables. Shard index is a mixed hash of the flow ID, so sequential
-	// IDs spread evenly across stripes.
-	shardBits = 4
-	numShards = 1 << shardBits
+	// minShards/maxShards bound the autotuned lock-stripe width of the
+	// soft-state tables (see shardCountFor). Shard index is a mixed hash
+	// of the flow ID, so sequential IDs spread evenly across stripes.
+	minShards = 16
+	maxShards = 1024
 
 	// readBufSize is the per-connection input buffer — up to ~200 frames
 	// per read syscall. writeFlushThreshold flushes the reply buffer
@@ -106,18 +126,48 @@ type shard struct {
 	wheel   *wheel // TTL expiry index; nil when the server has no TTL
 }
 
-// conn tracks one client connection's reservations.
+// conn tracks one client connection's reservations. Stream transports own
+// a net.Conn; datagram peers are virtual connections keyed by source
+// address (nc nil, datagram true), created on first datagram and reaped
+// once they hold no flows and no dispatch is in flight.
 type conn struct {
 	nc net.Conn
+	// datagram marks a UDP virtual connection: its client retransmits
+	// requests, so a duplicate reserve is answered from the live grant
+	// instead of erroring (see reserve).
+	datagram bool
+	// raddr is the peer's address, for logging (nc.RemoteAddr() for
+	// stream connections).
+	raddr net.Addr
+	// inflight counts reader goroutines mid-dispatch on this datagram
+	// peer; guarded by Server.udpMu.
+	inflight int
 	// mu guards flows: the handler goroutine adds and removes, the expiry
 	// goroutine removes (always with the flow's shard lock held first).
 	mu    sync.Mutex
 	flows map[uint64]struct{}
 }
 
+// shardCountFor returns the soft-state stripe count for a machine with p
+// schedulable CPUs: the next power of two ≥ 8·p, clamped to
+// [minShards, maxShards]. The 8× headroom keeps the probability that two
+// of p concurrently-served requests contend on one stripe low, while the
+// floor preserves the old compile-time width (16) on small machines and
+// the cap bounds idle-table memory on very wide ones.
+func shardCountFor(p int) int {
+	if p < 1 {
+		p = 1
+	}
+	n := minShards
+	for n < 8*p && n < maxShards {
+		n <<= 1
+	}
+	return n
+}
+
 // shardFor picks a flow's stripe by Fibonacci-hashing its ID.
 func (s *Server) shardFor(id uint64) *shard {
-	return &s.shards[(id*0x9e3779b97f4a7c15)>>(64-shardBits)]
+	return &s.shards[(id*0x9e3779b97f4a7c15)>>s.shardShift]
 }
 
 // now is the wheel clock: nanoseconds since the server's epoch.
@@ -177,6 +227,9 @@ func buildServer(capacity float64, kmax int, byBandwidth bool, ttl time.Duration
 		stop:        make(chan struct{}),
 		reg:         obs.New(),
 	}
+	nshards := shardCountFor(runtime.GOMAXPROCS(0))
+	s.shards = make([]shard, nshards)
+	s.shardShift = uint(64 - bits.TrailingZeros(uint(nshards)))
 	s.metrics = newServerMetrics(s.reg)
 	s.reg.GaugeFunc("resv_active_flows", "live reservations", func() float64 {
 		return float64(s.active.Load())
@@ -184,7 +237,7 @@ func buildServer(capacity float64, kmax int, byBandwidth bool, ttl time.Duration
 	s.reg.GaugeFunc("resv_allocated", "granted rate sum (bandwidth mode) or active count", s.Allocated)
 	s.reg.GaugeFunc("resv_capacity", "link capacity C", func() float64 { return s.capacity })
 	s.reg.GaugeFunc("resv_kmax", "admission threshold kmax(C)", func() float64 { return float64(s.kmax) })
-	s.reg.GaugeFunc("resv_shards", "soft-state lock stripes", func() float64 { return numShards })
+	s.reg.GaugeFunc("resv_shards", "soft-state lock stripes", func() float64 { return float64(len(s.shards)) })
 	for i := range s.shards {
 		s.shards[i].entries = make(map[uint64]*entry)
 	}
@@ -225,8 +278,10 @@ func (s *Server) KMax() int { return s.kmax }
 // TTL returns the soft-state lifetime (0 = no expiry).
 func (s *Server) TTL() time.Duration { return s.ttl }
 
-// Shards returns the lock-stripe width of the soft-state tables.
-func (s *Server) Shards() int { return numShards }
+// Shards returns the lock-stripe width of the soft-state tables — the
+// runtime-chosen count (shardCountFor of GOMAXPROCS at construction), the
+// same value the resv_shards gauge reports.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Metrics returns the server's instrument set. Counters may be read at
 // any time (atomic loads); they are updated with per-batch granularity.
@@ -336,8 +391,7 @@ func (s *Server) handle(nc net.Conn) {
 		// clock reads amortize over every frame the batch coalesced.
 		t0 := time.Now()
 		for _, f := range frames {
-			reply := s.dispatch(c, f)
-			bs.count(f, reply)
+			reply := s.dispatch(c, f, &bs)
 			wbuf = AppendFrame(wbuf, reply)
 			if len(wbuf) >= writeFlushThreshold {
 				if !s.flush(nc, &wbuf) {
@@ -373,29 +427,45 @@ func (s *Server) flush(nc net.Conn, wbuf *[]byte) bool {
 	return true
 }
 
-// dispatch serves one frame.
-func (s *Server) dispatch(c *conn, f Frame) Frame {
+// dispatch serves one frame, tallying its outcome into bs. Counting lives
+// here (not in the caller) because only the reserve path can tell a fresh
+// grant from a retransmit answered out of the live entry — the two carry
+// identical reply frames but must land in different counters.
+func (s *Server) dispatch(c *conn, f Frame, bs *batchStats) Frame {
+	var reply Frame
+	var dup bool
 	switch f.Type {
 	case MsgRequest:
-		return s.reserve(c, f)
+		reply, dup = s.reserve(c, f)
 	case MsgTeardown:
-		return s.teardown(c, f)
+		reply = s.teardown(c, f)
 	case MsgRefresh:
-		return s.refresh(c, f)
+		reply = s.refresh(c, f)
 	case MsgStats:
-		return Frame{Type: MsgStatsReply, FlowID: uint64(s.kmax), Value: float64(s.active.Load())}
+		reply = Frame{Type: MsgStatsReply, FlowID: uint64(s.kmax), Value: float64(s.active.Load())}
 	default:
-		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
+		reply = Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
 	}
+	bs.count(f, reply)
+	if dup {
+		// A re-sent grant is not a second admission: move it from the
+		// grant tally to the dup tally so resv_grants_total keeps counting
+		// admissions exactly.
+		bs.grants--
+		bs.dups++
+	}
+	return reply
 }
 
-// reserve runs admission control for one request.
-func (s *Server) reserve(c *conn, f Frame) Frame {
+// reserve runs admission control for one request. dup reports that the
+// reply is a re-sent grant for an already-installed flow (datagram
+// retransmit), not a fresh admission.
+func (s *Server) reserve(c *conn, f Frame) (reply Frame, dup bool) {
 	if !(f.Value >= 0) || math.IsInf(f.Value, 0) || (s.byBandwidth && !(f.Value > 0)) {
 		if s.Trace != nil {
 			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest), Active: s.active.Load()})
 		}
-		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
+		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}, false
 	}
 	if s.byBandwidth {
 		return s.reserveBandwidth(c, f)
@@ -406,65 +476,100 @@ func (s *Server) reserve(c *conn, f Frame) Frame {
 	for {
 		cur := s.active.Load()
 		if cur >= int64(s.kmax) {
+			// A full link must not deny a datagram retransmit of a live
+			// admission — possibly the very admission that filled the
+			// link (grant lost, client re-sent). Only the deny path pays
+			// the shard lookup; fresh admissions stay lock-free here.
+			if c.datagram {
+				if st := s.lookupOwn(c, f.FlowID); st.kind == dupOwnConn {
+					return s.duplicate(c, f, st, s.capacity/float64(s.kmax))
+				}
+			}
 			if s.Trace != nil {
 				s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: float64(cur), Active: cur})
 			}
 			if s.Logf != nil {
 				s.logf("resv: deny flow %d (active %d ≥ kmax %d)", f.FlowID, cur, s.kmax)
 			}
-			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: float64(cur)}
+			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: float64(cur)}, false
 		}
 		if s.active.CompareAndSwap(cur, cur+1) {
 			break
 		}
 	}
-	if !s.install(c, f.FlowID, 0) {
+	share := s.capacity / float64(s.kmax)
+	if st := s.install(c, f.FlowID, 0); st.kind != installedNew {
 		s.active.Add(-1) // roll the claimed slot back
-		if s.Trace != nil {
-			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.active.Load()})
-		}
-		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
+		return s.duplicate(c, f, st, share)
 	}
 	// The instantaneous share C/min(k, kmax) changes with every arrival and
 	// departure, so a snapshot C/active would be stale the moment another
 	// flow is admitted. Grant the guaranteed worst-case share C/kmax — the
 	// floor the flow keeps no matter how full the link gets.
-	share := s.capacity / float64(s.kmax)
 	if s.Trace != nil {
 		s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: share, Active: s.active.Load()})
 	}
 	if s.Logf != nil {
 		s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, s.active.Load(), share)
 	}
-	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: share}
+	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: share}, false
+}
+
+// duplicate resolves a reserve that found its flow ID already installed,
+// after the caller rolled back the claimed slot/rate. On a datagram
+// connection whose own live flow it is, the reserve is a client
+// retransmit whose grant was lost in flight: re-send the grant — the
+// entry's epoch ties the reply to the original admission, so the
+// retransmit can never double-admit. Everything else is a genuine
+// duplicate-flow error.
+func (s *Server) duplicate(c *conn, f Frame, st installStatus, value float64) (Frame, bool) {
+	if c.datagram && st.kind == dupOwnConn {
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: value, Active: s.active.Load()})
+		}
+		if s.Logf != nil {
+			s.logf("resv: re-grant flow %d (retransmitted reserve)", f.FlowID)
+		}
+		return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: value}, true
+	}
+	if s.Trace != nil {
+		s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.active.Load()})
+	}
+	return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}, false
 }
 
 // reserveBandwidth admits a request for rate r while Σ rates stays within
 // capacity, claiming the rate with a CAS on the float bits.
-func (s *Server) reserveBandwidth(c *conn, f Frame) Frame {
+func (s *Server) reserveBandwidth(c *conn, f Frame) (Frame, bool) {
 	r := f.Value
 	for {
 		old := s.allocBits.Load()
 		cur := math.Float64frombits(old)
 		if cur+r > s.capacity+1e-12 {
+			// Same retransmit-at-full-link case as the flow-count path:
+			// the live admission answers, at its original rate.
+			if c.datagram {
+				if st := s.lookupOwn(c, f.FlowID); st.kind == dupOwnConn {
+					return s.duplicate(c, f, st, st.rate)
+				}
+			}
 			if s.Trace != nil {
 				s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: cur, Active: s.active.Load()})
 			}
 			if s.Logf != nil {
 				s.logf("resv: deny flow %d (allocated %g + %g > capacity %g)", f.FlowID, cur, r, s.capacity)
 			}
-			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: cur}
+			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: cur}, false
 		}
 		if s.allocBits.CompareAndSwap(old, math.Float64bits(cur+r)) {
 			break
 		}
 	}
-	if !s.install(c, f.FlowID, r) {
+	if st := s.install(c, f.FlowID, r); st.kind != installedNew {
 		s.releaseRate(r) // roll the claimed rate back
-		if s.Trace != nil {
-			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.active.Load()})
-		}
-		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}
+		// A retransmit is answered with the rate the original admission
+		// granted, which need not equal this request's rate.
+		return s.duplicate(c, f, st, st.rate)
 	}
 	s.active.Add(1)
 	if s.Trace != nil {
@@ -473,18 +578,55 @@ func (s *Server) reserveBandwidth(c *conn, f Frame) Frame {
 	if s.Logf != nil {
 		s.logf("resv: grant flow %d rate %g (allocated %g/%g)", f.FlowID, r, math.Float64frombits(s.allocBits.Load()), s.capacity)
 	}
-	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: r}
+	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: r}, false
+}
+
+// installStatus is install's verdict: the flow was installed, or the ID
+// was already taken — by this very connection (a datagram retransmit
+// candidate, with the live grant's rate) or by some other owner.
+type installStatus struct {
+	kind int8 // one of installedNew/dupOwnConn/dupOtherConn
+	rate float64
+}
+
+const (
+	installedNew int8 = iota
+	dupOwnConn
+	dupOtherConn
+)
+
+// lookupOwn reports whether id is already installed, and by whom, without
+// touching any state: installedNew means no live entry. Used by the deny
+// paths to recognize a datagram retransmit of the admission that filled
+// the link.
+func (s *Server) lookupOwn(c *conn, id uint64) installStatus {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	st := installStatus{kind: installedNew}
+	if e, ok := sh.entries[id]; ok {
+		st.kind = dupOtherConn
+		if e.owner == c {
+			st = installStatus{kind: dupOwnConn, rate: e.rate}
+		}
+	}
+	sh.mu.Unlock()
+	return st
 }
 
 // install records an admitted flow in its shard (and TTL wheel) and on its
-// owning connection. It reports false on a duplicate flow ID, leaving all
-// state untouched; the caller rolls back its claim.
-func (s *Server) install(c *conn, id uint64, rate float64) bool {
+// owning connection. On a duplicate flow ID it leaves all state untouched
+// and reports who owns the live entry (the caller rolls back its claim and
+// decides between a retransmit re-grant and a duplicate error).
+func (s *Server) install(c *conn, id uint64, rate float64) installStatus {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
-	if _, dup := sh.entries[id]; dup {
+	if e, dup := sh.entries[id]; dup {
+		st := installStatus{kind: dupOtherConn}
+		if e.owner == c {
+			st = installStatus{kind: dupOwnConn, rate: e.rate}
+		}
 		sh.mu.Unlock()
-		return false
+		return st
 	}
 	e := sh.free
 	if e != nil {
@@ -494,6 +636,7 @@ func (s *Server) install(c *conn, id uint64, rate float64) bool {
 		e = new(entry)
 	}
 	e.id, e.owner, e.rate = id, c, rate
+	e.epoch = s.epochSeq.Add(1)
 	sh.entries[id] = e
 	if sh.wheel != nil {
 		e.deadline = s.now() + int64(s.ttl)
@@ -503,7 +646,7 @@ func (s *Server) install(c *conn, id uint64, rate float64) bool {
 	c.flows[id] = struct{}{}
 	c.mu.Unlock()
 	sh.mu.Unlock()
-	return true
+	return installStatus{kind: installedNew}
 }
 
 // removeLocked unrecords a flow: wheel, flow table, owning connection,

@@ -3,6 +3,7 @@ package resv
 import (
 	"context"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -174,19 +175,62 @@ func TestStatsLockFreeUnderLoad(t *testing.T) {
 
 // TestShardDistribution checks the flow-ID hash actually stripes:
 // sequential IDs — the worst case for a naive id%N shard map — must spread
-// across every shard.
+// across every shard the server chose at startup.
 func TestShardDistribution(t *testing.T) {
-	var s Server
+	r, err := utility.NewRigid(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	nshards := s.Shards()
+	ids := uint64(64 * nshards)
 	seen := make(map[*shard]int)
-	for id := uint64(1); id <= 1024; id++ {
+	for id := uint64(1); id <= ids; id++ {
 		seen[s.shardFor(id)]++
 	}
-	if len(seen) != numShards {
-		t.Fatalf("sequential IDs hit %d of %d shards", len(seen), numShards)
+	if len(seen) != nshards {
+		t.Fatalf("sequential IDs hit %d of %d shards", len(seen), nshards)
 	}
 	for sh, n := range seen {
-		if n > 4*1024/numShards {
-			t.Errorf("shard %p got %d of 1024 IDs — badly skewed", sh, n)
+		if n > 4*int(ids)/nshards {
+			t.Errorf("shard %p got %d of %d IDs — badly skewed", sh, n, ids)
 		}
+	}
+}
+
+// TestShardAutotune checks the GOMAXPROCS-driven shard sizing: the count
+// must be a power of two (the shift-based shardFor depends on it), never
+// below the minShards floor that preserves the old fixed constant, and the
+// server must report the runtime-chosen count through Shards().
+func TestShardAutotune(t *testing.T) {
+	cases := []struct {
+		procs, want int
+	}{
+		{1, 16}, {2, 16}, {3, 32}, {4, 32}, {8, 64}, {16, 128}, {100, 1024}, {200, 1024},
+	}
+	for _, tc := range cases {
+		if got := shardCountFor(tc.procs); got != tc.want {
+			t.Errorf("shardCountFor(%d) = %d, want %d", tc.procs, got, tc.want)
+		}
+	}
+	r, err := utility.NewRigid(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(8, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	n := s.Shards()
+	if n != shardCountFor(runtime.GOMAXPROCS(0)) {
+		t.Errorf("Shards() = %d, want shardCountFor(GOMAXPROCS) = %d", n, shardCountFor(runtime.GOMAXPROCS(0)))
+	}
+	if n&(n-1) != 0 || n < minShards || n > maxShards {
+		t.Errorf("Shards() = %d: want a power of two in [%d, %d]", n, minShards, maxShards)
 	}
 }

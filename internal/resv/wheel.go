@@ -26,6 +26,11 @@ type entry struct {
 	id    uint64
 	owner *conn
 	rate  float64 // granted rate (bandwidth mode; 0 in flow-count mode)
+	// epoch is the admission's unique sequence number (Server.epochSeq):
+	// a retransmitted reserve answered from this entry is the SAME
+	// admission (same epoch), while a reserve that reincarnates a torn
+	// down or expired flow ID installs a fresh entry with a new epoch.
+	epoch uint64
 	// deadline is the soft-state expiry instant in nanoseconds since the
 	// server's epoch; meaningful only on TTL servers.
 	deadline int64
