@@ -8,8 +8,9 @@ GO ?= go
 # validation runs, the enforcement loop, the SCFQ hot path, the
 # admission-server throughput suite (ns/op and allocs/op — the serving
 # plane's reserve→grant path must stay at 0 allocs/op), the datagram
-# transport, and the 100k-flow high-concurrency churn.
-BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput|BenchmarkServerHighConcurrency|BenchmarkUDPThroughput
+# transport, the 100k-flow high-concurrency churn, and the per-policy
+# admission micro-benchmark (every policy's Admit→Release at 0 allocs/op).
+BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput|BenchmarkServerHighConcurrency|BenchmarkUDPThroughput|BenchmarkPolicyAdmit
 
 # Absolute metric floors on the fresh bench-diff run (NAME_RE=unit:MIN, see
 # cmd/benchjson -floor). The high-concurrency churn measured ~276k req/s
@@ -21,11 +22,11 @@ BENCH_FLOOR = BenchmarkServerHighConcurrency=req/s:20000,BenchmarkServerHighConc
 # Packages with concurrency worth racing: the single source of truth for
 # both `make race` and CI (which calls `make race`), so the two can never
 # drift apart again.
-RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ ./cmd/beqos/ .
+RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/policy/ ./internal/search/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ ./cmd/beqos/ .
 
-# Coverage floor (percent) enforced by cover-gate on the serving and
-# observability planes.
-COVER_PKGS  = ./internal/resv/ ./internal/obs/
+# Coverage floor (percent) enforced by cover-gate on the serving,
+# admission-policy and observability planes.
+COVER_PKGS  = ./internal/resv/ ./internal/policy/ ./internal/obs/
 COVER_FLOOR = 70
 
 all: build vet test
@@ -42,9 +43,11 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Full pre-merge gate: vet plus the race-enabled test suite.
+# Full pre-merge gate: vet, the race-enabled test suite, and the policy
+# sweep smoke — a live two-cell grid cross-validated against the model.
 check: vet race
 	$(GO) test ./...
+	$(GO) run ./cmd/beqos sweep-policy -quick
 
 # Run the benchmark suite and archive it as machine-readable JSON. Always
 # -benchmem, so every BENCH_core.json entry carries bytes/allocs.

@@ -159,21 +159,35 @@ func (a *AdmissionClient) KeepAlive(ctx context.Context, flowID uint64, interval
 }
 
 // AdmissionRetryPolicy governs ReserveWithRetry, the live counterpart of
-// the paper's §5.2 retrying extension.
+// the paper's §5.2 retrying extension. Zero-valued backoff fields default
+// sensibly: only MaxAttempts is required.
 type AdmissionRetryPolicy struct {
 	// MaxAttempts bounds total attempts (≥ 1).
 	MaxAttempts int
-	// BaseDelay is the wait before the first retry; Multiplier (≥ 1)
-	// scales it after each attempt; Jitter in [0, 1] randomizes it.
+	// BaseDelay is the wait before the first retry (0 = retry
+	// immediately); Multiplier scales it after each attempt (≥ 1; 0 means
+	// 1, a constant delay); Jitter in [0, 1] randomizes each delay by
+	// ±Jitter·delay (0 = no jitter).
 	BaseDelay  time.Duration
 	Multiplier float64
 	Jitter     float64
+}
+
+// withDefaults fills unset backoff parameters, the same way UDPConfig
+// defaults its zero values: a zero-value-plus-MaxAttempts policy must be
+// usable, not rejected by the transport's validation.
+func (p AdmissionRetryPolicy) withDefaults() AdmissionRetryPolicy {
+	if p.Multiplier == 0 {
+		p.Multiplier = 1
+	}
+	return p
 }
 
 // ReserveWithRetry requests a reservation, retrying denials with backoff.
 // It returns the number of retries performed so callers can account the
 // paper's per-retry utility penalty α.
 func (a *AdmissionClient) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth float64, policy AdmissionRetryPolicy) (granted bool, share float64, retries int, err error) {
+	policy = policy.withDefaults()
 	return a.c.ReserveWithRetry(ctx, flowID, bandwidth, resv.RetryPolicy{
 		MaxAttempts: policy.MaxAttempts,
 		BaseDelay:   policy.BaseDelay,

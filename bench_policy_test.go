@@ -1,0 +1,54 @@
+package beqos_test
+
+import (
+	"testing"
+
+	"beqos/internal/policy"
+)
+
+// BenchmarkPolicyAdmit measures the admission decision itself — one
+// Admit→Release cycle per op, no protocol framing — for every policy, with
+// allocs/op reported so the zero-allocation default paths are gated by
+// `make bench-diff` alongside the end-to-end server benchmarks.
+func BenchmarkPolicyAdmit(b *testing.B) {
+	const capacity = 8.0
+	const kmax = 8
+	mk := func(f func() (policy.Policy, error)) policy.Policy {
+		p, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		pol  policy.Policy
+		rate float64
+	}{
+		{"counting", mk(func() (policy.Policy, error) { return policy.NewCounting(capacity, kmax) }), 0},
+		{"bandwidth", mk(func() (policy.Policy, error) { return policy.NewBandwidth(capacity) }), 1},
+		{"token-bucket", mk(func() (policy.Policy, error) {
+			inner, err := policy.NewCounting(capacity, kmax)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewTokenBucket(inner, 1e9, 1<<20)
+		}), 0},
+		{"tiered", mk(func() (policy.Policy, error) { return policy.NewTiered(capacity, kmax, 6, 4) }), 0},
+		{"measured", mk(func() (policy.Policy, error) { return policy.NewMeasured(capacity, kmax, kmax+2, 1) }), 0},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			now := int64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 1000 // advance the policy clock 1µs per decision
+				dec := tc.pol.Admit(now, uint64(i), tc.rate, policy.ClassStandard)
+				if dec.Admit {
+					tc.pol.Release(now, tc.rate)
+				}
+			}
+		})
+	}
+}

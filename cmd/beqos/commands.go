@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"beqos"
+	"beqos/internal/obs"
 	"beqos/internal/report"
+	"beqos/internal/resv"
 	"beqos/internal/sweep"
 )
 
@@ -243,22 +245,28 @@ func cmdServe(args []string) error {
 	transport := fs.String("transport", "tcp", "serving transport: tcp (stream and mux clients), udp (datagram mode), all (both on the same address)")
 	quiet := fs.Bool("quiet", false, "suppress per-event logging")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address (empty = off)")
+	policyName := fs.String("policy", "counting", "admission policy: counting, bandwidth, token-bucket, tiered, measured")
+	knobs := registerPolicyKnobs(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	util := beqos.RigidUtility()
-	if *utilName == "adaptive" {
-		util = beqos.AdaptiveUtility()
+	util, err := parseUtility(*utilName)
+	if err != nil {
+		return err
 	}
-	srv, err := beqos.NewAdmissionServerTTL(*capacity, util, *ttl)
+	pol, err := buildServePolicy(*policyName, *capacity, util, knobs)
+	if err != nil {
+		return err
+	}
+	srv, err := resv.NewServerPolicy(pol, *ttl)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
 	if !*quiet {
-		srv.SetLogf(func(format string, a ...interface{}) {
+		srv.Logf = func(format string, a ...interface{}) {
 			fmt.Printf(format+"\n", a...)
-		})
+		}
 	}
 	var ln net.Listener
 	var pc net.PacketConn
@@ -284,12 +292,12 @@ func cmdServe(args []string) error {
 		ttlNote = fmt.Sprintf("soft-state TTL %v", *ttl)
 	}
 	if ln != nil {
-		fmt.Printf("beqos: admission server on tcp %s (capacity %g, kmax %d, %d shards, %s)\n",
-			ln.Addr(), *capacity, srv.KMax(), srv.Shards(), ttlNote)
+		fmt.Printf("beqos: admission server on tcp %s (capacity %g, policy %s, kmax %d, %d shards, %s)\n",
+			ln.Addr(), *capacity, pol.Name(), srv.KMax(), srv.Shards(), ttlNote)
 	}
 	if pc != nil {
-		fmt.Printf("beqos: admission server on udp %s (capacity %g, kmax %d, %d shards, %s)\n",
-			pc.LocalAddr(), *capacity, srv.KMax(), srv.Shards(), ttlNote)
+		fmt.Printf("beqos: admission server on udp %s (capacity %g, policy %s, kmax %d, %d shards, %s)\n",
+			pc.LocalAddr(), *capacity, pol.Name(), srv.KMax(), srv.Shards(), ttlNote)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -306,7 +314,7 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		fmt.Printf("beqos: observability on http://%s (/metrics, /healthz, /debug/pprof/)\n", dln.Addr())
-		go func() { _ = http.Serve(dln, srv.DebugHandler()) }()
+		go func() { _ = http.Serve(dln, obs.DebugMux(srv.Registry())) }()
 	}
 	go func() {
 		<-ctx.Done()

@@ -13,6 +13,9 @@
 //	beqos reserve -addr localhost:4742 -flows 12
 //	beqos load    -capacity 100 -util adaptive -mean 100 -probe-ttl 250ms
 //	beqos load    -capacity 100 -util adaptive -mean 100 -transport udp -udp-loss 10
+//	beqos serve   -addr :4742 -capacity 8 -policy tiered -tier-standard 6
+//	beqos sweep-policy -policy tiered -mode live -k1 1,0.75,0.5
+//	beqos sweep-policy -policy token-bucket -k1 2,6,12 -k2 4,8
 //
 // Every subcommand prints -h help. Loads: poisson, exponential, algebraic
 // (with -z). Utilities: rigid, adaptive, elastic.
@@ -52,6 +55,8 @@ func main() {
 		err = cmdReserve(os.Args[2:])
 	case "load":
 		err = cmdLoad(os.Args[2:])
+	case "sweep-policy":
+		err = cmdSweepPolicy(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -84,6 +89,10 @@ Commands:
   load      drive an admission server with Poisson load and cross-validate
             the measured blocking and utility against the analytical model
             (-transport classic, mux, or udp; -udp-loss injects packet loss)
+  sweep-policy
+            grid-search an admission policy's knobs over the simulator or
+            the live load harness, cross-validating each cell against the
+            model where a closed form exists (-quick is a CI smoke)
 
 Run 'beqos <command> -h' for flags.
 `)

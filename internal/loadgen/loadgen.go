@@ -39,6 +39,10 @@ import (
 // rpcTimeout bounds any single protocol round trip.
 const rpcTimeout = 10 * time.Second
 
+// retryJitterStream is the rng.Substream index reserved for retry-backoff
+// jitter, disjoint from the flow-dynamics stream (the base seed itself).
+const retryJitterStream = 0x6a09e667
+
 // batches is the number of equal time slices used for batch-means standard
 // errors. Batch means absorb the serial correlation of occupancy samples
 // (correlation time ≈ one holding time) that a naive binomial sigma would
@@ -88,8 +92,24 @@ type Config struct {
 	// RetryAttempts > 1 drives each arrival through ReserveWithRetry with
 	// that many attempts (immediate, zero-backoff retries — the slot state
 	// cannot change between synchronous attempts, so this exercises the
-	// retry path without perturbing the measurements).
+	// retry path without perturbing the measurements). The retry policy's
+	// jitter RNG is seeded from the run seed, so retrying runs stay
+	// deterministic.
 	RetryAttempts int
+
+	// Class tags every reservation request with an admission class
+	// (policy.ClassStandard / ClassCritical / ClassSheddable) for
+	// class-aware server policies. It must fit the wire's class space
+	// (≤ resv.ClassMask) and is incompatible with RetryAttempts > 1: the
+	// retry path is class-blind.
+	Class uint8
+
+	// PolicyDenies declares that the server runs an admission policy that
+	// may deny below the critical threshold kmax — token-bucket shedding,
+	// class tiers, measurement-based gating — so a denial with free
+	// capacity is expected behavior, not an anomaly. Grants beyond kmax
+	// and wrong grant shares are still counted as anomalies.
+	PolicyDenies bool
 
 	// Transport selects how the harness reaches the server: "classic" (one
 	// stream connection per endpoint, the default), "mux" (each endpoint is
@@ -144,6 +164,12 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.DropEvery < 0 || c.RetryAttempts < 0 {
 		return c, fmt.Errorf("loadgen: DropEvery and RetryAttempts must be nonnegative")
+	}
+	if c.Class > resv.ClassMask {
+		return c, fmt.Errorf("loadgen: class %d does not fit the wire's class space (max %d)", c.Class, resv.ClassMask)
+	}
+	if c.Class != 0 && c.RetryAttempts > 1 {
+		return c, fmt.Errorf("loadgen: Class and RetryAttempts are mutually exclusive (the retry path is class-blind)")
 	}
 	switch c.Transport {
 	case "":
@@ -251,6 +277,7 @@ type flow struct {
 // the harness is indifferent beyond this interface.
 type rclient interface {
 	Reserve(ctx context.Context, flowID uint64, bandwidth float64) (bool, float64, error)
+	ReserveClass(ctx context.Context, flowID uint64, bandwidth float64, class uint8) (bool, float64, error)
 	ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth float64, policy resv.RetryPolicy) (bool, float64, int, error)
 	Teardown(ctx context.Context, flowID uint64) error
 	Stats(ctx context.Context) (int, int, error)
@@ -324,6 +351,10 @@ type runner struct {
 	eps   []*endpoint
 	share float64 // expected grant share C/kmax
 
+	// retryRand feeds the retry policies' jitter, on its own substream of
+	// the run seed so retrying runs are as deterministic as plain ones.
+	retryRand func() float64
+
 	// cm is the endpoint pool's shared instrument set; every protocol
 	// round trip lands here, and finish() derives the Result's attempt,
 	// outcome, retry and latency statistics from it instead of bespoke
@@ -381,6 +412,8 @@ func Run(cfg Config) (*Result, error) {
 		firstDen: make([]float64, batches),
 	}
 	r.cm = resv.NewClientMetrics(obs.New())
+	js1, js2 := rng.Substream(c.Seed1, c.Seed2, retryJitterStream)
+	r.retryRand = rng.New(js1, js2).Float64
 	defer func() {
 		for _, ep := range r.eps {
 			_ = ep.client.Close()
@@ -659,9 +692,10 @@ func (r *runner) request(f *flow) bool {
 		ok, share, _, err = ep.client.ReserveWithRetry(ctx, f.id, 1, resv.RetryPolicy{
 			MaxAttempts: r.cfg.RetryAttempts,
 			Multiplier:  1,
+			Rand:        r.retryRand,
 		})
 	} else {
-		ok, share, err = ep.client.Reserve(ctx, f.id, 1)
+		ok, share, err = ep.client.ReserveClass(ctx, f.id, 1, r.cfg.Class)
 	}
 	if err != nil {
 		r.err = fmt.Errorf("loadgen: reserve flow %d: %w", f.id, err)
@@ -677,7 +711,7 @@ func (r *runner) request(f *flow) bool {
 		f.reserved = true
 		r.nres++
 		ep.reserved[f.id] = f
-	} else if r.nres < r.kmax {
+	} else if r.nres < r.kmax && !r.cfg.PolicyDenies {
 		r.res.Anomalies++ // denial with free capacity
 	}
 	return ok

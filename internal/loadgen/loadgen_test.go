@@ -161,6 +161,43 @@ func TestDeterministicForFixedSeed(t *testing.T) {
 	}
 }
 
+// TestRetryRunsDeterministic is the regression test for retry-backoff
+// jitter drawing from the process-global generator: a run exercising
+// ReserveWithRetry must be exactly as reproducible as a plain run, because
+// the harness seeds the retry policy's RNG from the run seed.
+func TestRetryRunsDeterministic(t *testing.T) {
+	util := utility.NewAdaptive()
+	run := func() *Result {
+		res, err := Run(Config{
+			Server:   newServer(t, 10, util),
+			Capacity: 10,
+			Util:     util,
+			Rate:     20,
+			Hold:     0.5,
+			Duration: 20,
+			Seed1:    11, Seed2: 13,
+			RetryAttempts: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Retries == 0 {
+		t.Fatal("the run exercised no retries; raise the load")
+	}
+	if a.Flows != b.Flows || a.FirstDenied != b.FirstDenied ||
+		a.Attempts != b.Attempts || a.Denied != b.Denied ||
+		a.Grants != b.Grants || a.Retries != b.Retries {
+		t.Errorf("counters differ between identical retrying runs:\n%+v\n%+v", a, b)
+	}
+	if a.DenyRate != b.DenyRate || a.MeanUtility != b.MeanUtility ||
+		a.MeasuredMeanLoad != b.MeasuredMeanLoad {
+		t.Errorf("statistics differ between identical retrying runs:\n%+v\n%+v", a, b)
+	}
+}
+
 // TestDropFaultsRecover injects connection drops and demands the harness
 // books stay consistent with the server's: reservations are re-established
 // and the statistics still match the model.

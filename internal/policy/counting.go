@@ -1,0 +1,160 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Counting is the paper's reservation rule: admit iff active < kmax(C),
+// where kmax is the largest population the utility function still serves
+// acceptably at capacity C. It is the default policy of counting-mode
+// servers and preserves their pre-policy wire behavior bit for bit: grants
+// carry the worst-case share C/kmax, denials carry the observed active
+// count.
+//
+// Admission is a CAS loop on a single atomic counter — the exact discipline
+// the sharded serving plane used before policies were pluggable — so
+// concurrent reserves can never over-admit and the deny path stays a pure
+// atomic load. Admit/Release are allocation-free.
+type Counting struct {
+	capacity float64
+	bound    int64
+	share    float64
+	active   atomic.Int64
+}
+
+// NewCounting returns a counting policy admitting at most kmax concurrent
+// flows on a link of the given capacity.
+func NewCounting(capacity float64, kmax int) (*Counting, error) {
+	if !(capacity > 0) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("policy: capacity must be positive and finite, got %v", capacity)
+	}
+	if kmax < 1 {
+		return nil, fmt.Errorf("policy: kmax must be ≥ 1, got %d", kmax)
+	}
+	return &Counting{
+		capacity: capacity,
+		bound:    int64(kmax),
+		share:    capacity / float64(kmax),
+	}, nil
+}
+
+// Name implements Policy.
+func (p *Counting) Name() string { return "counting" }
+
+// Mode implements Policy.
+func (p *Counting) Mode() Mode { return ModeCount }
+
+// Bound implements Policy.
+func (p *Counting) Bound() int { return int(p.bound) }
+
+// Capacity implements Policy.
+func (p *Counting) Capacity() float64 { return p.capacity }
+
+// Admit implements Policy.
+func (p *Counting) Admit(now int64, flowID uint64, rate float64, class uint8) Decision {
+	for {
+		cur := p.active.Load()
+		if cur >= p.bound {
+			return Decision{Load: float64(cur)}
+		}
+		if p.active.CompareAndSwap(cur, cur+1) {
+			return Decision{Admit: true, Share: p.share}
+		}
+	}
+}
+
+// Release implements Policy.
+func (p *Counting) Release(now int64, rate float64) { p.active.Add(-1) }
+
+// Share implements Policy.
+func (p *Counting) Share(rate float64) float64 { return p.share }
+
+// Active implements Policy.
+func (p *Counting) Active() int64 { return p.active.Load() }
+
+// Allocated implements Policy.
+func (p *Counting) Allocated() float64 { return float64(p.active.Load()) }
+
+// Bandwidth admits by literal traffic specification: a request for rate r
+// is admitted iff the running rate sum stays within capacity (with a small
+// tolerance so repeated float adds at an exactly-full link don't deny a
+// fitting request). Grants carry the granted rate, denials the allocated
+// sum — the pre-policy bandwidth-mode wire behavior, bit for bit.
+//
+// The rate sum is CAS-maintained as float64 bits in a single atomic word,
+// again the pre-policy discipline: concurrent reserves cannot oversubscribe
+// the link and the deny path is lock-free. Admit/Release are
+// allocation-free.
+type Bandwidth struct {
+	capacity  float64
+	allocBits atomic.Uint64
+	active    atomic.Int64
+}
+
+// bwTolerance absorbs accumulated float64 rounding when the link is
+// exactly full; it matches the serving plane's historic admission check.
+const bwTolerance = 1e-12
+
+// NewBandwidth returns a bandwidth-accounting policy for a link of the
+// given capacity.
+func NewBandwidth(capacity float64) (*Bandwidth, error) {
+	if !(capacity > 0) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("policy: capacity must be positive and finite, got %v", capacity)
+	}
+	return &Bandwidth{capacity: capacity}, nil
+}
+
+// Name implements Policy.
+func (p *Bandwidth) Name() string { return "bandwidth" }
+
+// Mode implements Policy.
+func (p *Bandwidth) Mode() Mode { return ModeBandwidth }
+
+// Bound implements Policy. Bandwidth mode has no flow-count bound.
+func (p *Bandwidth) Bound() int { return 0 }
+
+// Capacity implements Policy.
+func (p *Bandwidth) Capacity() float64 { return p.capacity }
+
+// Admit implements Policy.
+func (p *Bandwidth) Admit(now int64, flowID uint64, rate float64, class uint8) Decision {
+	for {
+		bits := p.allocBits.Load()
+		cur := math.Float64frombits(bits)
+		if cur+rate > p.capacity+bwTolerance {
+			return Decision{Load: cur}
+		}
+		if p.allocBits.CompareAndSwap(bits, math.Float64bits(cur+rate)) {
+			p.active.Add(1)
+			return Decision{Admit: true, Share: rate}
+		}
+	}
+}
+
+// Release implements Policy.
+func (p *Bandwidth) Release(now int64, rate float64) {
+	for {
+		bits := p.allocBits.Load()
+		next := math.Float64frombits(bits) - rate
+		if next < 0 {
+			next = 0 // float drift must never leave a phantom allocation
+		}
+		if p.allocBits.CompareAndSwap(bits, math.Float64bits(next)) {
+			p.active.Add(-1)
+			return
+		}
+	}
+}
+
+// Share implements Policy.
+func (p *Bandwidth) Share(rate float64) float64 { return rate }
+
+// Active implements Policy.
+func (p *Bandwidth) Active() int64 { return p.active.Load() }
+
+// Allocated implements Policy.
+func (p *Bandwidth) Allocated() float64 {
+	return math.Float64frombits(p.allocBits.Load())
+}

@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Tiered admits by class against a priority cascade of occupancy
+// thresholds over one shared flow counter: sheddable traffic is admitted
+// only while the link is below sheddableMax, standard traffic below
+// standardMax, and critical traffic up to the full kmax bound — so as load
+// rises, sheddable flows are denied first, then standard, and critical
+// flows keep the headroom between standardMax and kmax to themselves (the
+// critical/standard/sheddable template of SNIPPETS.md Snippet 3, with the
+// load signal being the link's own occupancy rather than an external
+// monitor).
+//
+// Each class's admission is a CAS loop on the shared counter against that
+// class's threshold, so the no-over-admit invariant holds per class and
+// overall: Active can never exceed kmax, and a class-c flow is never
+// admitted at or above limits[c]. The reserved wire class 3 is treated as
+// sheddable. With standardMax == sheddableMax == kmax the policy is
+// exactly Counting.
+type Tiered struct {
+	capacity float64
+	share    float64
+	limits   [NumClasses]int64
+	active   atomic.Int64
+	denials  [NumClasses]atomic.Uint64
+}
+
+// NewTiered returns a tiered policy on a link of the given capacity with
+// per-class occupancy thresholds. Thresholds must satisfy
+// 1 ≤ sheddableMax ≤ standardMax ≤ kmax.
+func NewTiered(capacity float64, kmax, standardMax, sheddableMax int) (*Tiered, error) {
+	if !(capacity > 0) || math.IsInf(capacity, 0) {
+		return nil, fmt.Errorf("policy: capacity must be positive and finite, got %v", capacity)
+	}
+	if sheddableMax < 1 || sheddableMax > standardMax || standardMax > kmax {
+		return nil, fmt.Errorf("policy: tier thresholds need 1 ≤ sheddable (%d) ≤ standard (%d) ≤ kmax (%d)",
+			sheddableMax, standardMax, kmax)
+	}
+	p := &Tiered{capacity: capacity, share: capacity / float64(kmax)}
+	p.limits[ClassStandard] = int64(standardMax)
+	p.limits[ClassCritical] = int64(kmax)
+	p.limits[ClassSheddable] = int64(sheddableMax)
+	p.limits[3] = int64(sheddableMax) // reserved class: most conservative tier
+	return p, nil
+}
+
+// Name implements Policy.
+func (p *Tiered) Name() string { return "tiered" }
+
+// Mode implements Policy.
+func (p *Tiered) Mode() Mode { return ModeCount }
+
+// Bound implements Policy: the critical tier's (full) bound.
+func (p *Tiered) Bound() int { return int(p.limits[ClassCritical]) }
+
+// Capacity implements Policy.
+func (p *Tiered) Capacity() float64 { return p.capacity }
+
+// Limit is the admission threshold for one class.
+func (p *Tiered) Limit(class uint8) int { return int(p.limits[class%NumClasses]) }
+
+// Admit implements Policy.
+func (p *Tiered) Admit(now int64, flowID uint64, rate float64, class uint8) Decision {
+	limit := p.limits[class%NumClasses]
+	for {
+		cur := p.active.Load()
+		if cur >= limit {
+			p.denials[class%NumClasses].Add(1)
+			return Decision{Load: float64(cur)}
+		}
+		if p.active.CompareAndSwap(cur, cur+1) {
+			return Decision{Admit: true, Share: p.share}
+		}
+	}
+}
+
+// Release implements Policy.
+func (p *Tiered) Release(now int64, rate float64) { p.active.Add(-1) }
+
+// Share implements Policy.
+func (p *Tiered) Share(rate float64) float64 { return p.share }
+
+// Active implements Policy.
+func (p *Tiered) Active() int64 { return p.active.Load() }
+
+// Allocated implements Policy.
+func (p *Tiered) Allocated() float64 { return float64(p.active.Load()) }
+
+// Gauges implements Instrumented.
+func (p *Tiered) Gauges() []Gauge {
+	return []Gauge{
+		{Name: "denied_standard", Help: "Standard-class denials.", Value: func() float64 {
+			return float64(p.denials[ClassStandard].Load())
+		}},
+		{Name: "denied_critical", Help: "Critical-class denials.", Value: func() float64 {
+			return float64(p.denials[ClassCritical].Load())
+		}},
+		{Name: "denied_sheddable", Help: "Sheddable-class denials (reserved class 3 included).", Value: func() float64 {
+			return float64(p.denials[ClassSheddable].Load() + p.denials[3].Load())
+		}},
+	}
+}

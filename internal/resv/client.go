@@ -325,14 +325,23 @@ func udpReplyMatches(req, reply Frame) bool {
 // demand. It reports whether the reservation was granted, and the granted
 // share when it was.
 func (c *Client) Reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, err error) {
-	granted, share, _, err = c.reserve(ctx, flowID, bandwidth)
+	granted, share, _, err = c.reserve(ctx, flowID, bandwidth, 0)
+	return granted, share, err
+}
+
+// ReserveClass is Reserve with an admission class (policy.ClassStandard /
+// ClassCritical / ClassSheddable), carried in the request frame's class
+// bits. Class 0 requests are byte-identical to Reserve; class-unaware
+// servers (and policies) ignore the bits.
+func (c *Client) ReserveClass(ctx context.Context, flowID uint64, bandwidth float64, class uint8) (granted bool, share float64, err error) {
+	granted, share, _, err = c.reserve(ctx, flowID, bandwidth, class)
 	return granted, share, err
 }
 
 // reserve is Reserve plus a sent indicator: when the request hit the wire
 // but the reply was lost, the server may hold a grant the caller never saw.
-func (c *Client) reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, sent bool, err error) {
-	reply, sent, err := c.roundTrip(ctx, Frame{Type: MsgRequest, FlowID: flowID, Value: bandwidth})
+func (c *Client) reserve(ctx context.Context, flowID uint64, bandwidth float64, class uint8) (granted bool, share float64, sent bool, err error) {
+	reply, sent, err := c.roundTrip(ctx, Frame{Type: MsgRequest, Class: class, FlowID: flowID, Value: bandwidth})
 	if err != nil {
 		return false, 0, sent, err
 	}
@@ -426,10 +435,7 @@ func (c *Client) Stats(ctx context.Context) (kmax, active int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if reply.Type != MsgStatsReply {
-		return 0, 0, fmt.Errorf("resv: stats: unexpected %s reply", reply.Type)
-	}
-	return int(reply.FlowID), int(reply.Value), nil
+	return statsFromReply(reply)
 }
 
 // RetryPolicy governs ReserveWithRetry, mirroring the paper's §5.2
@@ -443,8 +449,27 @@ type RetryPolicy struct {
 	// Multiplier scales the delay after each attempt (≥ 1).
 	Multiplier float64
 	// Jitter, in [0, 1], randomizes each delay by ±Jitter·delay to avoid
-	// synchronized retry storms.
+	// synchronized retry storms. 0 means no jitter.
 	Jitter float64
+	// Rand, if non-nil, supplies the jitter draws (uniform in [0, 1)), so
+	// harnesses can seed the backoff sequence and reproduce a run exactly;
+	// nil falls back to the process-global generator. Ignored when Jitter
+	// is 0.
+	Rand func() float64
+}
+
+// jittered randomizes one backoff delay by ±Jitter·d, drawing from the
+// policy's injected generator or the process-global one. Both retrying
+// clients (Client and MuxClient) funnel their waits through it.
+func (p RetryPolicy) jittered(d time.Duration) time.Duration {
+	if p.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	r := p.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	return time.Duration(float64(d) * (1 + p.Jitter*(2*r()-1)))
 }
 
 // Validate checks the policy.
@@ -453,7 +478,8 @@ func (p RetryPolicy) Validate() error {
 		return fmt.Errorf("resv: retry policy needs MaxAttempts ≥ 1, got %d", p.MaxAttempts)
 	}
 	if p.BaseDelay < 0 || p.Multiplier < 1 || p.Jitter < 0 || p.Jitter > 1 {
-		return fmt.Errorf("resv: invalid retry policy %+v", p)
+		return fmt.Errorf("resv: invalid retry policy {MaxAttempts:%d BaseDelay:%v Multiplier:%g Jitter:%g}",
+			p.MaxAttempts, p.BaseDelay, p.Multiplier, p.Jitter)
 	}
 	return nil
 }
@@ -469,7 +495,7 @@ func (c *Client) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth 
 	}
 	delay := policy.BaseDelay
 	for attempt := 1; ; attempt++ {
-		ok, sh, sent, err := c.reserve(ctx, flowID, bandwidth)
+		ok, sh, sent, err := c.reserve(ctx, flowID, bandwidth, 0)
 		if err != nil {
 			if sent {
 				// The request reached the wire but its reply did not come
@@ -489,11 +515,7 @@ func (c *Client) ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth 
 		if c.metrics != nil {
 			c.metrics.Retries.Inc()
 		}
-		d := delay
-		if policy.Jitter > 0 && d > 0 {
-			j := 1 + policy.Jitter*(2*rand.Float64()-1)
-			d = time.Duration(float64(d) * j)
-		}
+		d := policy.jittered(delay)
 		select {
 		case <-ctx.Done():
 			return false, 0, attempt - 1, ctx.Err()

@@ -41,8 +41,9 @@ const (
 	MsgTeardownOK
 	// MsgStats asks for link statistics.
 	MsgStats
-	// MsgStatsReply answers MsgStats; FlowID carries the admission
-	// threshold kmax and Value the active reservation count.
+	// MsgStatsReply answers MsgStats; see the "MsgStatsReply field
+	// packing" note below and use StatsReplyFrame/ParseStatsReply rather
+	// than reaching into the fields.
 	MsgStatsReply
 	// MsgRefresh renews FlowID's soft-state timer (RSVP-style): on a
 	// server with a reservation TTL, unrefreshed reservations expire.
@@ -107,12 +108,29 @@ const (
 
 // Frame is one protocol message.
 type Frame struct {
-	Type   MsgType
+	Type MsgType
+	// Class is the admission class of a request (policy.ClassStandard /
+	// ClassCritical / ClassSheddable), carried in the top two bits of the
+	// type byte. The zero value is the standard class, so frames from
+	// class-unaware clients are byte-identical to protocol version 1
+	// before classes existed; replies always carry class 0.
+	Class  uint8
 	FlowID uint64
 	// Value is type-dependent: bandwidth for requests/grants, a count for
 	// denials and stats, an ErrorCode for errors.
 	Value float64
 }
+
+const (
+	// classShift positions the 2-bit class field in the type byte. MsgType
+	// needs 4 bits (1..10), leaving the top bits free; bits 4–5 stay
+	// reserved-zero for future types.
+	classShift = 6
+	// typeMask extracts the message type from the type byte.
+	typeMask = (1 << classShift) - 1
+	// ClassMask bounds the wire class space (policy.NumClasses values).
+	ClassMask = 0xff >> classShift
+)
 
 // ErrBadFrame is wrapped by decoding errors.
 var ErrBadFrame = fmt.Errorf("resv: bad frame")
@@ -121,7 +139,7 @@ var ErrBadFrame = fmt.Errorf("resv: bad frame")
 func putFrame(buf *[FrameSize]byte, f Frame) {
 	binary.BigEndian.PutUint16(buf[0:2], frameMagic)
 	buf[2] = protocolVersion
-	buf[3] = uint8(f.Type)
+	buf[3] = uint8(f.Type) | (f.Class&ClassMask)<<classShift
 	binary.BigEndian.PutUint64(buf[4:12], f.FlowID)
 	binary.BigEndian.PutUint64(buf[12:20], math.Float64bits(f.Value))
 }
@@ -144,12 +162,13 @@ func DecodeFrame(b []byte) (Frame, error) {
 	if b[2] != protocolVersion {
 		return Frame{}, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, b[2], protocolVersion)
 	}
-	t := MsgType(b[3])
+	t := MsgType(b[3] & typeMask)
 	if t < MsgRequest || t > MsgError {
-		return Frame{}, fmt.Errorf("%w: unknown type %d", ErrBadFrame, b[3])
+		return Frame{}, fmt.Errorf("%w: unknown type %d", ErrBadFrame, b[3]&typeMask)
 	}
 	return Frame{
 		Type:   t,
+		Class:  b[3] >> classShift,
 		FlowID: binary.BigEndian.Uint64(b[4:12]),
 		Value:  math.Float64frombits(binary.BigEndian.Uint64(b[12:20])),
 	}, nil
@@ -184,6 +203,71 @@ func DecodeDatagram(b []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: datagram length %d, want exactly %d", ErrBadFrame, len(b), FrameSize)
 	}
 	return DecodeFrame(b)
+}
+
+// MsgStatsReply field packing
+//
+// A stats reply repurposes the two payload fields of the fixed frame:
+//
+//	FlowID — the admission threshold kmax, as the uint64 it is
+//	Value  — the active reservation count, as a float64
+//
+// FlowID is lossless. Value is not: float64 represents every integer only
+// up to 2^53, and a hostile or corrupt peer can put a NaN, a negative, or
+// a fractional value on the wire, any of which `int(f.Value)` turns into
+// platform-defined garbage. StatsReplyFrame and ParseStatsReply are the
+// only sanctioned way through this packing: the encoder refuses counts a
+// float64 cannot hold exactly, and the parser rejects anything that is not
+// a non-negative integral count in the exact range. Policy-extended stats
+// must add frames (or a new message type), not squeeze more meaning into
+// these two fields.
+
+// maxExactCount is the largest count float64 round-trips exactly (2^53).
+const maxExactCount = int64(1) << 53
+
+// StatsReplyFrame packs a stats reply. It returns an error if the active
+// count cannot survive the float64 leg of the packing.
+func StatsReplyFrame(kmax int, active int64) (Frame, error) {
+	if kmax < 0 {
+		return Frame{}, fmt.Errorf("resv: stats reply kmax %d is negative", kmax)
+	}
+	if active < 0 || active > maxExactCount {
+		return Frame{}, fmt.Errorf("resv: stats reply active count %d outside [0, 2^53]", active)
+	}
+	return Frame{Type: MsgStatsReply, FlowID: uint64(kmax), Value: float64(active)}, nil
+}
+
+// ParseStatsReply unpacks a stats reply, validating both packed fields.
+func ParseStatsReply(f Frame) (kmax, active int64, err error) {
+	if f.Type != MsgStatsReply {
+		return 0, 0, fmt.Errorf("resv: %s frame is not a stats reply", f.Type)
+	}
+	if f.FlowID > math.MaxInt64 {
+		return 0, 0, fmt.Errorf("resv: stats reply kmax %d overflows int64", f.FlowID)
+	}
+	v := f.Value
+	if math.IsNaN(v) || v < 0 || v > float64(maxExactCount) || v != math.Trunc(v) {
+		return 0, 0, fmt.Errorf("resv: stats reply active count %v is not an exact count", v)
+	}
+	return int64(f.FlowID), int64(v), nil
+}
+
+// statsFromReply is the shared client-side stats decode: both the classic
+// client and the mux client funnel replies through it so neither can
+// regress to bare int(Value) truncation. It additionally guards the
+// conversion to the platform int.
+func statsFromReply(reply Frame) (kmax, active int, err error) {
+	if reply.Type == MsgError {
+		return 0, 0, fmt.Errorf("resv: stats failed: server error %v", ErrorCode(reply.FlowID))
+	}
+	k, a, err := ParseStatsReply(reply)
+	if err != nil {
+		return 0, 0, err
+	}
+	if int64(int(k)) != k || int64(int(a)) != a {
+		return 0, 0, fmt.Errorf("resv: stats counts (%d, %d) overflow int on this platform", k, a)
+	}
+	return int(k), int(a), nil
 }
 
 // frameBufPool recycles frame scratch buffers for WriteFrame/ReadFrame. A

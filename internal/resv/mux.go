@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"context"
 	"fmt"
-	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -342,7 +341,14 @@ func (m *MuxClient) abandon(req Frame, call *muxCall, stats bool) bool {
 // share when it was. Reservations live until torn down, expired by the
 // server's TTL, or the MuxClient's connection closes.
 func (m *MuxClient) Reserve(ctx context.Context, flowID uint64, bandwidth float64) (granted bool, share float64, err error) {
-	reply, err := m.roundTrip(ctx, Frame{Type: MsgRequest, FlowID: flowID, Value: bandwidth})
+	return m.ReserveClass(ctx, flowID, bandwidth, 0)
+}
+
+// ReserveClass is Reserve with an admission class (policy.ClassStandard /
+// ClassCritical / ClassSheddable), carried in the request frame's class
+// bits. Class 0 requests are byte-identical to Reserve.
+func (m *MuxClient) ReserveClass(ctx context.Context, flowID uint64, bandwidth float64, class uint8) (granted bool, share float64, err error) {
+	reply, err := m.roundTrip(ctx, Frame{Type: MsgRequest, Class: class, FlowID: flowID, Value: bandwidth})
 	if err != nil {
 		return false, 0, err
 	}
@@ -398,10 +404,7 @@ func (m *MuxClient) Stats(ctx context.Context) (kmax, active int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if reply.Type != MsgStatsReply {
-		return 0, 0, fmt.Errorf("resv: stats: unexpected %s reply", reply.Type)
-	}
-	return int(reply.FlowID), int(reply.Value), nil
+	return statsFromReply(reply)
 }
 
 // ReserveWithRetry requests a reservation, retrying denials per the policy
@@ -436,11 +439,7 @@ func (m *MuxClient) ReserveWithRetry(ctx context.Context, flowID uint64, bandwid
 		if m.metrics != nil {
 			m.metrics.Retries.Inc()
 		}
-		d := delay
-		if policy.Jitter > 0 && d > 0 {
-			j := 1 + policy.Jitter*(2*rand.Float64()-1)
-			d = time.Duration(float64(d) * j)
-		}
+		d := policy.jittered(delay)
 		select {
 		case <-ctx.Done():
 			return false, 0, attempt - 1, ctx.Err()

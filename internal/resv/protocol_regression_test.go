@@ -1,0 +1,166 @@
+package resv
+
+import (
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"beqos/internal/rng"
+)
+
+// Regression tests for two protocol-plumbing bugs:
+//
+//   - MsgStatsReply packs kmax into FlowID and the active count through a
+//     float64 Value; both client paths used to decode it with a bare
+//     int(reply.Value), which turns a NaN, negative, fractional, or
+//     beyond-2^53 value into platform-defined garbage instead of an error.
+//   - Retry backoff jitter drew from the process-global rand.Float64(), so
+//     runs exercising ReserveWithRetry were not reproducible; the RNG is
+//     now injectable per policy.
+
+func TestStatsReplyRoundTripAtScale(t *testing.T) {
+	counts := []int64{0, 1, 100000, 1 << 20, 1<<31 + 5, 1 << 40, 1 << 53}
+	kmaxes := []int{0, 1, 100000, 1 << 31}
+	for _, k := range kmaxes {
+		for _, a := range counts {
+			f, err := StatsReplyFrame(k, a)
+			if err != nil {
+				t.Fatalf("StatsReplyFrame(%d, %d): %v", k, a, err)
+			}
+			// Through the wire and back: the packing must be lossless.
+			decoded, err := DecodeFrame(AppendFrame(nil, f))
+			if err != nil {
+				t.Fatalf("decode stats reply (%d, %d): %v", k, a, err)
+			}
+			gotK, gotA, err := ParseStatsReply(decoded)
+			if err != nil {
+				t.Fatalf("ParseStatsReply(%d, %d): %v", k, a, err)
+			}
+			if gotK != int64(k) || gotA != a {
+				t.Fatalf("stats round trip (%d, %d) → (%d, %d)", k, a, gotK, gotA)
+			}
+		}
+	}
+}
+
+func TestStatsReplyFrameRejectsUnpackable(t *testing.T) {
+	if _, err := StatsReplyFrame(-1, 0); err == nil {
+		t.Error("negative kmax encoded")
+	}
+	if _, err := StatsReplyFrame(0, -1); err == nil {
+		t.Error("negative active count encoded")
+	}
+	if _, err := StatsReplyFrame(0, 1<<53+1); err == nil {
+		t.Error("active count beyond float64 exactness encoded")
+	}
+}
+
+func TestParseStatsReplyRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Frame
+	}{
+		{"wrong type", Frame{Type: MsgGrant, Value: 3}},
+		{"NaN count", Frame{Type: MsgStatsReply, Value: math.NaN()}},
+		{"negative count", Frame{Type: MsgStatsReply, Value: -1}},
+		{"fractional count", Frame{Type: MsgStatsReply, Value: 2.5}},
+		{"huge count", Frame{Type: MsgStatsReply, Value: 1e300}},
+		{"kmax overflows int64", Frame{Type: MsgStatsReply, FlowID: 1 << 63, Value: 1}},
+	}
+	for _, tc := range cases {
+		if _, _, err := ParseStatsReply(tc.f); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		}
+	}
+}
+
+// TestStatsRejectsCorruptReply is the pre-fix-failing client-path check: a
+// corrupt or hostile stats reply must surface as an error, not as the
+// garbage count int(NaN) produces.
+func TestStatsRejectsCorruptReply(t *testing.T) {
+	cs, cc := net.Pipe()
+	defer cs.Close()
+	client := NewClient(cc)
+	defer client.Close()
+	go func() {
+		// Consume the MsgStats request, answer with a NaN active count.
+		if _, err := ReadFrame(cs); err != nil {
+			return
+		}
+		_ = WriteFrame(cs, Frame{Type: MsgStatsReply, FlowID: 8, Value: math.NaN()})
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if kmax, active, err := client.Stats(ctx); err == nil {
+		t.Fatalf("NaN active count decoded as (%d, %d) instead of failing", kmax, active)
+	}
+}
+
+// TestRetryJitterSeedable is the determinism half of the jitter fix: two
+// policies seeded identically must produce byte-identical backoff
+// sequences, and the draws must really come from the injected generator.
+func TestRetryJitterSeedable(t *testing.T) {
+	base := RetryPolicy{MaxAttempts: 8, BaseDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	run := func(seed uint64) []time.Duration {
+		src := rng.New(seed, seed^0x9e3779b97f4a7c15)
+		p := base
+		p.Rand = src.Float64
+		var ds []time.Duration
+		d := p.BaseDelay
+		for i := 0; i < 32; i++ {
+			ds = append(ds, p.jittered(d))
+			d = time.Duration(float64(d) * p.Multiplier)
+		}
+		return ds
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed jitter diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter — injected RNG unused")
+	}
+}
+
+// TestReserveWithRetryUsesInjectedRand pins the retry loop itself to the
+// injected generator: every jittered wait of every attempt must draw from
+// policy.Rand, and none from the process-global generator.
+func TestReserveWithRetryUsesInjectedRand(t *testing.T) {
+	s := newServer(t, 1) // kmax 1
+	occupant := pipeClient(t, s)
+	ok, _, err := occupant.Reserve(ctx(t), 1, 1)
+	if err != nil || !ok {
+		t.Fatalf("occupant reserve: ok=%v err=%v", ok, err)
+	}
+	client := pipeClient(t, s)
+	draws := 0
+	p := RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		Multiplier:  1,
+		Jitter:      1,
+		Rand:        func() float64 { draws++; return 0.5 },
+	}
+	granted, _, retries, err := client.ReserveWithRetry(ctx(t), 2, 1, p)
+	if err != nil {
+		t.Fatalf("ReserveWithRetry: %v", err)
+	}
+	if granted || retries != 2 {
+		t.Fatalf("expected 2 denied retries on a full link, got granted=%v retries=%d", granted, retries)
+	}
+	if draws != 2 {
+		t.Fatalf("injected RNG drawn %d times, want one per backoff wait (2)", draws)
+	}
+}

@@ -14,12 +14,16 @@ import (
 	"time"
 
 	"beqos/internal/obs"
+	"beqos/internal/policy"
 	"beqos/internal/utility"
 )
 
 // Server is a single-link admission controller speaking the resv protocol.
-// Admission policy follows the paper: at most kmax(C) = argmax k·π(C/k)
-// concurrent reservations, each guaranteed the worst-case share C/kmax.
+// The admission decision is delegated to a policy.Policy; the default
+// (NewServer/NewServerTTL) is the paper's counting rule — at most
+// kmax(C) = argmax k·π(C/k) concurrent reservations, each guaranteed the
+// worst-case share C/kmax — and NewServerPolicy accepts any policy
+// upholding the package's admission invariants (DESIGN.md §12).
 //
 // Reservations are soft state, in two senses mirroring RSVP:
 //   - scoped to their connection — a connection drop releases its flows;
@@ -51,14 +55,17 @@ type Server struct {
 	epoch    time.Time
 	wheelRes int64
 
-	// active is the number of live reservations. In flow-count mode it is
-	// the admission counter itself: reserve claims a slot with a CAS
-	// bounded by kmax, so racing clients can never over-admit, and a full
-	// link is rejected from the atomic alone, without touching any shard.
-	active atomic.Int64
-	// allocBits holds Σ granted rates as float64 bits (bandwidth mode),
-	// CAS-bounded by capacity the same way.
-	allocBits atomic.Uint64
+	// pol owns the admission counters: reserve claims a slot through
+	// pol.Admit (the built-ins CAS a single atomic bounded by kmax or
+	// capacity, so racing clients can never over-admit and a full link is
+	// denied lock-free) and every departure path returns it via
+	// pol.Release. The server's soft state (shards, wheels, dedup) is
+	// policy-independent.
+	pol policy.Policy
+	// polClock records that pol implements policy.ClockUser and wants the
+	// server clock on every decision; clockless policies (the defaults)
+	// skip the per-request time read.
+	polClock bool
 
 	// epochSeq issues each installed flow a unique, monotonically
 	// increasing epoch, so a retransmitted reserve answered from the live
@@ -199,7 +206,11 @@ func NewServerTTL(capacity float64, util utility.Function, ttl time.Duration) (*
 	if kmax < 1 {
 		return nil, fmt.Errorf("resv: capacity %g admits no flows (kmax = %d)", capacity, kmax)
 	}
-	return buildServer(capacity, kmax, false, ttl)
+	pol, err := policy.NewCounting(capacity, kmax)
+	if err != nil {
+		return nil, err
+	}
+	return buildServer(pol, ttl)
 }
 
 // NewServerBandwidth returns an admission controller that accounts the
@@ -211,33 +222,65 @@ func NewServerBandwidth(capacity float64, ttl time.Duration) (*Server, error) {
 	if !(capacity > 0) || math.IsInf(capacity, 0) {
 		return nil, fmt.Errorf("resv: capacity must be positive and finite, got %g", capacity)
 	}
-	return buildServer(capacity, 0, true, ttl)
+	pol, err := policy.NewBandwidth(capacity)
+	if err != nil {
+		return nil, err
+	}
+	return buildServer(pol, ttl)
 }
 
-func buildServer(capacity float64, kmax int, byBandwidth bool, ttl time.Duration) (*Server, error) {
+// NewServerPolicy returns an admission controller running the given
+// admission policy — the policy owns the admit/release counters, the
+// server owns everything else (soft state, TTL wheels, retransmit dedup,
+// transports, metrics). Policies implementing policy.Instrumented have
+// their gauges registered as resv_policy_<name>; policies implementing
+// policy.ClockUser receive the server's monotonic clock on every decision.
+func NewServerPolicy(pol policy.Policy, ttl time.Duration) (*Server, error) {
+	if pol == nil {
+		return nil, fmt.Errorf("resv: policy must be non-nil")
+	}
+	if !(pol.Capacity() > 0) || math.IsInf(pol.Capacity(), 0) {
+		return nil, fmt.Errorf("resv: policy %q has no positive finite capacity", pol.Name())
+	}
+	if pol.Mode() == policy.ModeCount && pol.Bound() < 1 {
+		return nil, fmt.Errorf("resv: counting-mode policy %q admits no flows (bound %d)", pol.Name(), pol.Bound())
+	}
+	return buildServer(pol, ttl)
+}
+
+func buildServer(pol policy.Policy, ttl time.Duration) (*Server, error) {
 	if ttl < 0 {
 		return nil, fmt.Errorf("resv: TTL must be nonnegative, got %v", ttl)
 	}
 	s := &Server{
-		capacity:    capacity,
-		kmax:        kmax,
+		capacity:    pol.Capacity(),
+		kmax:        pol.Bound(),
 		ttl:         ttl,
-		byBandwidth: byBandwidth,
+		byBandwidth: pol.Mode() == policy.ModeBandwidth,
+		pol:         pol,
 		epoch:       time.Now(),
 		stop:        make(chan struct{}),
 		reg:         obs.New(),
+	}
+	if cu, ok := pol.(policy.ClockUser); ok && cu.NeedsClock() {
+		s.polClock = true
 	}
 	nshards := shardCountFor(runtime.GOMAXPROCS(0))
 	s.shards = make([]shard, nshards)
 	s.shardShift = uint(64 - bits.TrailingZeros(uint(nshards)))
 	s.metrics = newServerMetrics(s.reg)
 	s.reg.GaugeFunc("resv_active_flows", "live reservations", func() float64 {
-		return float64(s.active.Load())
+		return float64(s.pol.Active())
 	})
 	s.reg.GaugeFunc("resv_allocated", "granted rate sum (bandwidth mode) or active count", s.Allocated)
 	s.reg.GaugeFunc("resv_capacity", "link capacity C", func() float64 { return s.capacity })
 	s.reg.GaugeFunc("resv_kmax", "admission threshold kmax(C)", func() float64 { return float64(s.kmax) })
 	s.reg.GaugeFunc("resv_shards", "soft-state lock stripes", func() float64 { return float64(len(s.shards)) })
+	if inst, ok := pol.(policy.Instrumented); ok {
+		for _, g := range inst.Gauges() {
+			s.reg.GaugeFunc("resv_policy_"+g.Name, g.Help, g.Value)
+		}
+	}
 	for i := range s.shards {
 		s.shards[i].entries = make(map[uint64]*entry)
 	}
@@ -258,15 +301,25 @@ func buildServer(capacity float64, kmax int, byBandwidth bool, ttl time.Duration
 // active reservation count (flow-count mode). Lock-free: safe to poll at
 // any rate, concurrently with reserves.
 func (s *Server) Allocated() float64 {
-	if s.byBandwidth {
-		return math.Float64frombits(s.allocBits.Load())
-	}
-	return float64(s.active.Load())
+	return s.pol.Allocated()
 }
 
 // Active returns the current number of reservations. Lock-free.
 func (s *Server) Active() int {
-	return int(s.active.Load())
+	return int(s.pol.Active())
+}
+
+// Policy returns the server's admission policy.
+func (s *Server) Policy() policy.Policy { return s.pol }
+
+// polNow is the clock handed to the policy: the server's monotonic
+// nanosecond clock for policies that asked for one, 0 otherwise — the
+// default policies' hot path never pays a time read.
+func (s *Server) polNow() int64 {
+	if s.polClock {
+		return s.now()
+	}
+	return 0
 }
 
 // Capacity returns the link capacity.
@@ -317,10 +370,10 @@ func (s *Server) expireLoop() {
 					s.removeLocked(sh, e, false)
 					s.metrics.Expiries.Inc()
 					if s.Trace != nil {
-						s.Trace(TraceEvent{Kind: TraceExpire, FlowID: id, Active: s.active.Load()})
+						s.Trace(TraceEvent{Kind: TraceExpire, FlowID: id, Active: s.pol.Active()})
 					}
 					if s.Logf != nil {
-						s.logf("resv: expired flow %d (active %d)", id, s.active.Load())
+						s.logf("resv: expired flow %d (active %d)", id, s.pol.Active())
 					}
 				})
 				sh.mu.Unlock()
@@ -442,7 +495,11 @@ func (s *Server) dispatch(c *conn, f Frame, bs *batchStats) Frame {
 	case MsgRefresh:
 		reply = s.refresh(c, f)
 	case MsgStats:
-		reply = Frame{Type: MsgStatsReply, FlowID: uint64(s.kmax), Value: float64(s.active.Load())}
+		var err error
+		reply, err = StatsReplyFrame(s.kmax, s.pol.Active())
+		if err != nil { // a policy bound beyond 2^53 flows; unreachable for the built-ins
+			reply = Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
+		}
 	default:
 		reply = Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
 	}
@@ -460,59 +517,70 @@ func (s *Server) dispatch(c *conn, f Frame, bs *batchStats) Frame {
 // reserve runs admission control for one request. dup reports that the
 // reply is a re-sent grant for an already-installed flow (datagram
 // retransmit), not a fresh admission.
+//
+// The decision itself belongs to the policy: the built-ins claim a slot
+// with a CAS bounded by kmax (or capacity, in bandwidth mode), so the
+// winners of a race at the boundary are exactly the first bound-n claims
+// and a full link is denied from an atomic alone — no shard lock. The
+// server's job is the soft state around the decision: install the admitted
+// flow, roll the claim back on a duplicate, and answer retransmits of live
+// admissions from the entry rather than re-admitting.
 func (s *Server) reserve(c *conn, f Frame) (reply Frame, dup bool) {
 	if !(f.Value >= 0) || math.IsInf(f.Value, 0) || (s.byBandwidth && !(f.Value > 0)) {
 		if s.Trace != nil {
-			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest), Active: s.active.Load()})
+			s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest), Active: s.pol.Active()})
 		}
 		return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}, false
 	}
+	dec := s.pol.Admit(s.polNow(), f.FlowID, f.Value, f.Class)
+	if !dec.Admit {
+		// A denial must not reject a datagram retransmit of a live
+		// admission — possibly the very admission that filled the link
+		// (grant lost, client re-sent). Only the deny path pays the shard
+		// lookup; fresh admissions stay lock-free in the policy.
+		if c.datagram {
+			if st := s.lookupOwn(c, f.FlowID); st.kind == dupOwnConn {
+				return s.duplicate(c, f, st, s.pol.Share(st.rate))
+			}
+		}
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: dec.Load, Active: s.pol.Active()})
+		}
+		if s.Logf != nil {
+			if s.byBandwidth {
+				s.logf("resv: deny flow %d (allocated %g + %g > capacity %g)", f.FlowID, dec.Load, f.Value, s.capacity)
+			} else {
+				s.logf("resv: deny flow %d (%s: active %d)", f.FlowID, s.pol.Name(), int64(dec.Load))
+			}
+		}
+		return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: dec.Load}, false
+	}
+	rate := 0.0
 	if s.byBandwidth {
-		return s.reserveBandwidth(c, f)
+		rate = f.Value
 	}
-	// Admission is a CAS-bounded claim on the active counter: the winners
-	// of a race at the kmax boundary are exactly the first kmax-n claims,
-	// and a full link is denied from the atomic alone — no shard lock.
-	for {
-		cur := s.active.Load()
-		if cur >= int64(s.kmax) {
-			// A full link must not deny a datagram retransmit of a live
-			// admission — possibly the very admission that filled the
-			// link (grant lost, client re-sent). Only the deny path pays
-			// the shard lookup; fresh admissions stay lock-free here.
-			if c.datagram {
-				if st := s.lookupOwn(c, f.FlowID); st.kind == dupOwnConn {
-					return s.duplicate(c, f, st, s.capacity/float64(s.kmax))
-				}
-			}
-			if s.Trace != nil {
-				s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: float64(cur), Active: cur})
-			}
-			if s.Logf != nil {
-				s.logf("resv: deny flow %d (active %d ≥ kmax %d)", f.FlowID, cur, s.kmax)
-			}
-			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: float64(cur)}, false
-		}
-		if s.active.CompareAndSwap(cur, cur+1) {
-			break
-		}
+	if st := s.install(c, f.FlowID, rate); st.kind != installedNew {
+		s.pol.Release(s.polNow(), rate) // roll the claimed admission back
+		// A retransmit is answered with what the original admission
+		// granted (its stored rate, or the worst-case share), which need
+		// not equal this request's.
+		return s.duplicate(c, f, st, s.pol.Share(st.rate))
 	}
-	share := s.capacity / float64(s.kmax)
-	if st := s.install(c, f.FlowID, 0); st.kind != installedNew {
-		s.active.Add(-1) // roll the claimed slot back
-		return s.duplicate(c, f, st, share)
-	}
-	// The instantaneous share C/min(k, kmax) changes with every arrival and
-	// departure, so a snapshot C/active would be stale the moment another
-	// flow is admitted. Grant the guaranteed worst-case share C/kmax — the
-	// floor the flow keeps no matter how full the link gets.
+	// In count mode the grant carries the guaranteed worst-case share
+	// C/kmax — the instantaneous share C/min(k, kmax) would be stale the
+	// moment another flow is admitted — and in bandwidth mode exactly the
+	// requested rate; either way dec.Share is the policy's word.
 	if s.Trace != nil {
-		s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: share, Active: s.active.Load()})
+		s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: dec.Share, Active: s.pol.Active()})
 	}
 	if s.Logf != nil {
-		s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, s.active.Load(), share)
+		if s.byBandwidth {
+			s.logf("resv: grant flow %d rate %g (allocated %g/%g)", f.FlowID, rate, s.pol.Allocated(), s.capacity)
+		} else {
+			s.logf("resv: grant flow %d (active %d, share %g)", f.FlowID, s.pol.Active(), dec.Share)
+		}
 	}
-	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: share}, false
+	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: dec.Share}, false
 }
 
 // duplicate resolves a reserve that found its flow ID already installed,
@@ -525,7 +593,7 @@ func (s *Server) reserve(c *conn, f Frame) (reply Frame, dup bool) {
 func (s *Server) duplicate(c *conn, f Frame, st installStatus, value float64) (Frame, bool) {
 	if c.datagram && st.kind == dupOwnConn {
 		if s.Trace != nil {
-			s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: value, Active: s.active.Load()})
+			s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: value, Active: s.pol.Active()})
 		}
 		if s.Logf != nil {
 			s.logf("resv: re-grant flow %d (retransmitted reserve)", f.FlowID)
@@ -533,52 +601,9 @@ func (s *Server) duplicate(c *conn, f Frame, st installStatus, value float64) (F
 		return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: value}, true
 	}
 	if s.Trace != nil {
-		s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.active.Load()})
+		s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.pol.Active()})
 	}
 	return Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow)}, false
-}
-
-// reserveBandwidth admits a request for rate r while Σ rates stays within
-// capacity, claiming the rate with a CAS on the float bits.
-func (s *Server) reserveBandwidth(c *conn, f Frame) (Frame, bool) {
-	r := f.Value
-	for {
-		old := s.allocBits.Load()
-		cur := math.Float64frombits(old)
-		if cur+r > s.capacity+1e-12 {
-			// Same retransmit-at-full-link case as the flow-count path:
-			// the live admission answers, at its original rate.
-			if c.datagram {
-				if st := s.lookupOwn(c, f.FlowID); st.kind == dupOwnConn {
-					return s.duplicate(c, f, st, st.rate)
-				}
-			}
-			if s.Trace != nil {
-				s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: cur, Active: s.active.Load()})
-			}
-			if s.Logf != nil {
-				s.logf("resv: deny flow %d (allocated %g + %g > capacity %g)", f.FlowID, cur, r, s.capacity)
-			}
-			return Frame{Type: MsgDeny, FlowID: f.FlowID, Value: cur}, false
-		}
-		if s.allocBits.CompareAndSwap(old, math.Float64bits(cur+r)) {
-			break
-		}
-	}
-	if st := s.install(c, f.FlowID, r); st.kind != installedNew {
-		s.releaseRate(r) // roll the claimed rate back
-		// A retransmit is answered with the rate the original admission
-		// granted, which need not equal this request's rate.
-		return s.duplicate(c, f, st, st.rate)
-	}
-	s.active.Add(1)
-	if s.Trace != nil {
-		s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: r, Active: s.active.Load()})
-	}
-	if s.Logf != nil {
-		s.logf("resv: grant flow %d rate %g (allocated %g/%g)", f.FlowID, r, math.Float64frombits(s.allocBits.Load()), s.capacity)
-	}
-	return Frame{Type: MsgGrant, FlowID: f.FlowID, Value: r}, false
 }
 
 // installStatus is install's verdict: the flow was installed, or the ID
@@ -649,9 +674,10 @@ func (s *Server) install(c *conn, id uint64, rate float64) installStatus {
 	return installStatus{kind: installedNew}
 }
 
-// removeLocked unrecords a flow: wheel, flow table, owning connection,
-// rate, and the active counter. Callers hold sh.mu; when the entry is
-// being expired by the wheel (wheelLinked = false) it is already unlinked.
+// removeLocked unrecords a flow: wheel, flow table, owning connection, and
+// the policy's claim (rate and active count). Callers hold sh.mu; when the
+// entry is being expired by the wheel (wheelLinked = false) it is already
+// unlinked.
 func (s *Server) removeLocked(sh *shard, e *entry, wheelLinked bool) {
 	if wheelLinked && sh.wheel != nil {
 		e.unlink()
@@ -661,27 +687,10 @@ func (s *Server) removeLocked(sh *shard, e *entry, wheelLinked bool) {
 	c.mu.Lock()
 	delete(c.flows, e.id)
 	c.mu.Unlock()
-	if s.byBandwidth {
-		s.releaseRate(e.rate)
-	}
-	s.active.Add(-1)
+	s.pol.Release(s.polNow(), e.rate)
 	e.owner = nil
 	e.next = sh.free
 	sh.free = e
-}
-
-// releaseRate returns a granted rate to the pool (bandwidth mode).
-func (s *Server) releaseRate(r float64) {
-	for {
-		old := s.allocBits.Load()
-		v := math.Float64frombits(old) - r
-		if v < 0 {
-			v = 0
-		}
-		if s.allocBits.CompareAndSwap(old, math.Float64bits(v)) {
-			return
-		}
-	}
 }
 
 func (s *Server) teardown(c *conn, f Frame) Frame {
@@ -694,7 +703,7 @@ func (s *Server) teardown(c *conn, f Frame) Frame {
 	}
 	s.removeLocked(sh, e, true)
 	sh.mu.Unlock()
-	active := s.active.Load()
+	active := s.pol.Active()
 	if s.Trace != nil {
 		s.Trace(TraceEvent{Kind: TraceTeardown, FlowID: f.FlowID, Active: active})
 	}
@@ -721,7 +730,7 @@ func (s *Server) refresh(c *conn, f Frame) Frame {
 	}
 	sh.mu.Unlock()
 	if s.Trace != nil {
-		s.Trace(TraceEvent{Kind: TraceRefresh, FlowID: f.FlowID, Value: s.ttl.Seconds(), Active: s.active.Load()})
+		s.Trace(TraceEvent{Kind: TraceRefresh, FlowID: f.FlowID, Value: s.ttl.Seconds(), Active: s.pol.Active()})
 	}
 	return Frame{Type: MsgRefreshOK, FlowID: f.FlowID, Value: s.ttl.Seconds()}
 }
@@ -745,7 +754,7 @@ func (s *Server) release(c *conn) {
 			s.removeLocked(sh, e, true)
 			n++
 			if s.Trace != nil {
-				s.Trace(TraceEvent{Kind: TraceRelease, FlowID: id, Active: s.active.Load()})
+				s.Trace(TraceEvent{Kind: TraceRelease, FlowID: id, Active: s.pol.Active()})
 			}
 		}
 		sh.mu.Unlock()

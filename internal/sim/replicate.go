@@ -48,6 +48,13 @@ func RunReplicationsWorkers(cfg Config, n, workers int) (Replication, error) {
 	if n < 2 {
 		return Replication{}, fmt.Errorf("sim: need at least 2 replications, got %d", n)
 	}
+	if cfg.Admission != nil {
+		// Config is copied by value per replication, but a policy.Policy is a
+		// stateful pointer: replications would race on (and pollute) one
+		// shared policy. Callers must run replicates themselves with a fresh
+		// policy per run.
+		return Replication{}, fmt.Errorf("sim: replications cannot share one stateful admission policy; build a fresh policy per replicate")
+	}
 	type metrics struct{ util, occ, blk float64 }
 	outs := make([]metrics, n)
 	err := sweep.ForEach(context.Background(), workers, n, func(i int) error {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"beqos/internal/dist"
+	"beqos/internal/policy"
 	"beqos/internal/rng"
 	"beqos/internal/utility"
 )
@@ -61,6 +62,14 @@ type Config struct {
 	// KMax is the reservation admission threshold; 0 derives it from the
 	// utility function via kmax(C) = argmax k·π(C/k).
 	KMax int
+	// Admission, when non-nil, replaces the built-in counting check with a
+	// pluggable admission policy (Reservation only): each request is offered
+	// to the policy at the flow's virtual arrival time (1 virtual second =
+	// 1e9 policy nanoseconds, rate 1, the flow's class index as its class),
+	// and each departure is returned through Release. Policies are stateful;
+	// a Config carrying one must not be shared across concurrent runs — see
+	// RunReplicationsWorkers.
+	Admission policy.Policy
 	// Arrivals and Holding define the flow dynamics.
 	Arrivals Arrivals
 	Holding  Holding
@@ -177,13 +186,20 @@ func prepare(cfg Config) (*simState, error) {
 			return nil, fmt.Errorf("sim: invalid retry config %+v", *cfg.Retry)
 		}
 	}
+	if cfg.Admission != nil && cfg.Policy != Reservation {
+		return nil, fmt.Errorf("sim: an admission policy requires the reservation policy")
+	}
 	kmax := cfg.KMax
 	if cfg.Policy == Reservation && kmax == 0 {
-		k, ok := utility.KMax(cfg.Util, cfg.Capacity)
-		if !ok {
-			return nil, fmt.Errorf("sim: utility %q has no finite kmax; pass KMax explicitly", cfg.Util.Name())
+		if cfg.Admission != nil && cfg.Admission.Bound() > 0 {
+			kmax = cfg.Admission.Bound()
+		} else {
+			k, ok := utility.KMax(cfg.Util, cfg.Capacity)
+			if !ok {
+				return nil, fmt.Errorf("sim: utility %q has no finite kmax; pass KMax explicitly", cfg.Util.Name())
+			}
+			kmax = k
 		}
-		kmax = k
 	}
 	if cfg.Policy == Reservation && kmax < 1 {
 		return nil, fmt.Errorf("sim: reservation admits no flows at capacity %g", cfg.Capacity)
@@ -371,9 +387,17 @@ func (s *simState) arrive(fi int32) {
 			s.arrCounts[level]++
 		}
 	}
-	if s.cfg.Policy == Reservation && s.active >= s.kmax {
-		s.reject(fi)
-		return
+	if s.cfg.Policy == Reservation {
+		if adm := s.cfg.Admission; adm != nil {
+			dec := adm.Admit(s.nowNs(), uint64(fi)+1, 1, uint8(f.class))
+			if !dec.Admit {
+				s.reject(fi)
+				return
+			}
+		} else if s.active >= s.kmax {
+			s.reject(fi)
+			return
+		}
 	}
 	s.admit(fi)
 }
@@ -403,8 +427,17 @@ func (s *simState) admit(fi int32) {
 	s.eng.scheduleTagged(holding, evDepart, fi, 0)
 }
 
+// nowNs is the current virtual time on the admission policies' clock:
+// one virtual second is 1e9 policy nanoseconds.
+func (s *simState) nowNs() int64 {
+	return int64(s.eng.Now() * 1e9)
+}
+
 func (s *simState) depart(fi int32) {
 	f := &s.flows[fi]
+	if s.cfg.Admission != nil {
+		s.cfg.Admission.Release(s.nowNs(), 1)
+	}
 	s.setActive(s.active - 1)
 	if !f.counted {
 		return

@@ -1,0 +1,56 @@
+package beqos_test
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"beqos"
+)
+
+// TestAdmissionRetryPolicyZeroValueBackoff is the regression test for the
+// facade forwarding a zero Multiplier into the transport's retry
+// validation (which requires ≥ 1): a caller setting only MaxAttempts and
+// BaseDelay must get working retries, not an "invalid retry policy" error.
+func TestAdmissionRetryPolicyZeroValueBackoff(t *testing.T) {
+	srv, err := beqos.NewAdmissionServer(2, beqos.RigidUtility())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, cc := net.Pipe()
+	go srv.HandleConn(cs)
+	client := beqos.NewAdmissionClient(cc)
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	policy := beqos.AdmissionRetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond}
+	granted, share, retries, err := client.ReserveWithRetry(ctx, 1, 1, policy)
+	if err != nil {
+		t.Fatalf("zero-value backoff fields must default, got error: %v", err)
+	}
+	if !granted || share != 1 || retries != 0 {
+		t.Fatalf("reserve: granted=%v share=%g retries=%d", granted, share, retries)
+	}
+
+	// The defaulted policy must also drive the denial path: with the link
+	// full, both attempts are denied and the client reports retries, not
+	// a validation error.
+	for id := uint64(2); ; id++ {
+		ok, _, err := client.Reserve(ctx, id, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+	}
+	granted, _, retries, err = client.ReserveWithRetry(ctx, 100, 1, policy)
+	if err != nil {
+		t.Fatalf("retrying on a full link: %v", err)
+	}
+	if granted || retries != 1 {
+		t.Fatalf("full link: granted=%v retries=%d, want denied after 1 retry", granted, retries)
+	}
+}
