@@ -2,31 +2,35 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-diff bench-server figures examples cover cover-gate clean
+.PHONY: all build vet test race check bench bench-diff bench-server bench-cluster figures examples cover cover-gate clean
 
 # Benchmarks the regression gate enforces (see bench-diff): the simulator
 # validation runs, the enforcement loop, the SCFQ hot path, the
 # admission-server throughput suite (ns/op and allocs/op — the serving
 # plane's reserve→grant path must stay at 0 allocs/op), the datagram
 # transport, the 100k-flow high-concurrency churn, and the per-policy
-# admission micro-benchmark (every policy's Admit→Release at 0 allocs/op).
-BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput|BenchmarkServerHighConcurrency|BenchmarkUDPThroughput|BenchmarkPolicyAdmit
+# admission micro-benchmark (every policy's Admit→Release at 0 allocs/op),
+# and the cluster plane (aggregate path-admission churn plus the local-admit
+# and forwarded-hop hot paths, both pinned at 0 allocs/op).
+BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4SchedulingEnforcement|BenchmarkMicroSCFQEnqueueDequeue|BenchmarkServerThroughput|BenchmarkServerHighConcurrency|BenchmarkUDPThroughput|BenchmarkPolicyAdmit|BenchmarkClusterThroughput|BenchmarkClusterLocalAdmit|BenchmarkClusterForward
 
 # Absolute metric floors on the fresh bench-diff run (NAME_RE=unit:MIN, see
 # cmd/benchjson -floor). The high-concurrency churn measured ~276k req/s
 # with 100k standing flows on the CI-class container; 20k req/s is the
 # "still fundamentally works at scale" bar, far below normal but well above
-# any accidental serialization of the mux or shard paths.
-BENCH_FLOOR = BenchmarkServerHighConcurrency=req/s:20000,BenchmarkServerHighConcurrency=flows:100000
+# any accidental serialization of the mux or shard paths. The cluster
+# aggregate churn measured ~5.4M req/s on the CI-class container; 400k is
+# the same order-of-magnitude safety bar.
+BENCH_FLOOR = BenchmarkServerHighConcurrency=req/s:20000,BenchmarkServerHighConcurrency=flows:100000,BenchmarkClusterThroughput/n4=req/s:400000
 
 # Packages with concurrency worth racing: the single source of truth for
 # both `make race` and CI (which calls `make race`), so the two can never
 # drift apart again.
-RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/policy/ ./internal/search/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ ./cmd/beqos/ .
+RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/policy/ ./internal/search/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ ./internal/cluster/ ./cmd/beqos/ .
 
 # Coverage floor (percent) enforced by cover-gate on the serving,
-# admission-policy and observability planes.
-COVER_PKGS  = ./internal/resv/ ./internal/policy/ ./internal/obs/
+# admission-policy, observability and cluster planes.
+COVER_PKGS  = ./internal/resv/ ./internal/policy/ ./internal/obs/ ./internal/cluster/
 COVER_FLOOR = 70
 
 all: build vet test
@@ -67,6 +71,12 @@ bench-diff:
 # population to 1M), for quick iteration on internal/resv.
 bench-server:
 	$(GO) test -bench='BenchmarkServerThroughput|BenchmarkServerHighConcurrency|BenchmarkUDPThroughput' -benchmem -run '^$$' .
+
+# Just the cluster-plane suites (aggregate N-node churn, the zero-alloc
+# local-admit path, and the forwarded-hop path), for quick iteration on
+# internal/cluster.
+bench-cluster:
+	$(GO) test -bench='BenchmarkCluster' -benchmem -run '^$$' .
 
 # Regenerate every paper table and figure into out/ (see EXPERIMENTS.md).
 figures:

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"beqos/internal/cluster"
+)
+
+func TestCmdClusterPrint(t *testing.T) {
+	// Generated ring, validated and described without serving.
+	if err := cmdCluster([]string{"-print", "-nodes", "3", "-capacity", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	// From a spec file.
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "topo.spec")
+	if err := os.WriteFile(spec, []byte("node a\nlink l a 8\npath p l\npair x a a p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCluster([]string{"-print", "-topology", spec}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdClusterErrors(t *testing.T) {
+	if err := cmdCluster([]string{"-print", "-router", "nope"}); err == nil {
+		t.Error("unknown router accepted")
+	}
+	if err := cmdCluster([]string{"-print", "-util", "nope"}); err == nil {
+		t.Error("unknown utility accepted")
+	}
+	if err := cmdCluster([]string{"-print", "-topology", "/does/not/exist"}); err == nil {
+		t.Error("missing topology file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.spec")
+	if err := os.WriteFile(bad, []byte("link orphan nowhere 8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdCluster([]string{"-print", "-topology", bad}); err == nil {
+		t.Error("invalid topology accepted")
+	}
+	if err := cmdCluster([]string{"-listen", "not-an-address", "-nodes", "1"}); err == nil {
+		t.Error("malformed -listen accepted")
+	}
+}
+
+// TestCmdLoadAgainstClusterNode is the interop acceptance: the stock load
+// harness, pointed at a cluster node's client listener, measures the same
+// blocking the analytical model predicts — a single-pair, single-link
+// cluster is semantically one admission server.
+func TestCmdLoadAgainstClusterNode(t *testing.T) {
+	topo, err := cluster.ParseTopology("node a\nlink l a 10\npath p l\npair x a a p\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = cl.Node(0).ServeClients(ln) }()
+
+	err = cmdLoad([]string{
+		"-addr", ln.Addr().String(),
+		"-capacity", "10", "-util", "adaptive", "-mean", "10", "-hold", "0.5",
+		"-duration", "30", "-seed", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := cl.Node(0).LinkActive(0); a != 0 {
+		t.Errorf("cluster node still holds %d claims after the harness", a)
+	}
+}

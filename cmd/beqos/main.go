@@ -16,6 +16,7 @@
 //	beqos serve   -addr :4742 -capacity 8 -policy tiered -tier-standard 6
 //	beqos sweep-policy -policy tiered -mode live -k1 1,0.75,0.5
 //	beqos sweep-policy -policy token-bucket -k1 2,6,12 -k2 4,8
+//	beqos cluster -nodes 4 -capacity 32 -router two-choice -listen 127.0.0.1:4750
 //
 // Every subcommand prints -h help. Loads: poisson, exponential, algebraic
 // (with -z). Utilities: rigid, adaptive, elastic.
@@ -57,6 +58,8 @@ func main() {
 		err = cmdLoad(os.Args[2:])
 	case "sweep-policy":
 		err = cmdSweepPolicy(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -93,6 +96,9 @@ Commands:
             grid-search an admission policy's knobs over the simulator or
             the live load harness, cross-validating each cell against the
             model where a closed form exists (-quick is a CI smoke)
+  cluster   run an N-node path-admission cluster in one process: per-node
+            client listeners, two-choice or hashed path placement, gossiped
+            link occupancy (-topology spec file or a generated -nodes ring)
 
 Run 'beqos <command> -h' for flags.
 `)

@@ -1,0 +1,562 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// sharedSpec is the conformance fixture: two entry-side links feeding one
+// tight shared link owned by a third node, so concurrent path admissions
+// from two entry nodes race on the same bottleneck.
+const sharedSpec = `
+node a
+node b
+node c
+link la a 1000
+link lb b 1000
+link shared c 8
+path pa la,shared
+path pb lb,shared
+pair x a c pa
+pair y b c pb
+`
+
+func mustTopo(t testing.TB, spec string) *Topology {
+	t.Helper()
+	topo, err := ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func startCluster(t testing.TB, spec string, cfg Config) *Cluster {
+	t.Helper()
+	cfg.Topology = mustTopo(t, spec)
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Start()
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPathAdmissionConformance is the cluster invariant check: concurrent
+// admissions from two entry nodes racing on a shared link never over-admit
+// it, every denied path leaves zero upstream residue, and every grant is
+// released exactly once. Run under -race in CI.
+func TestPathAdmissionConformance(t *testing.T) {
+	cl := startCluster(t, sharedSpec, Config{})
+	topo := cl.topo
+	laIdx, lbIdx, shIdx := topo.LinkIndex("la"), topo.LinkIndex("lb"), topo.LinkIndex("shared")
+	sharedBound := cl.Bounds()[shIdx]
+
+	const workers, per = 4, 16
+	type side struct {
+		local *Local
+		pair  int
+		mu    sync.Mutex
+		seqs  []uint64
+	}
+	sides := []*side{
+		{local: cl.Node(0).NewLocal(), pair: 0},
+		{local: cl.Node(1).NewLocal(), pair: 1},
+	}
+	var wg sync.WaitGroup
+	for _, s := range sides {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(s *side, w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					seq := uint64(w*per + i)
+					granted, share, err := s.local.Reserve(s.pair, seq, 1)
+					if err != nil {
+						t.Errorf("reserve: %v", err)
+						return
+					}
+					if granted {
+						if !(share > 0) {
+							t.Errorf("granted share %g", share)
+						}
+						s.mu.Lock()
+						s.seqs = append(s.seqs, seq)
+						s.mu.Unlock()
+					}
+				}
+			}(s, w)
+		}
+	}
+	wg.Wait()
+
+	grantsX, grantsY := int64(len(sides[0].seqs)), int64(len(sides[1].seqs))
+	total := grantsX + grantsY
+	if total != int64(sharedBound) {
+		t.Errorf("granted %d paths through a link with bound %d (offered %d)", total, sharedBound, 2*workers*per)
+	}
+	if a := cl.Node(2).LinkActive(shIdx); a != total {
+		t.Errorf("shared link holds %d claims, %d paths granted", a, total)
+	}
+	// No-residue: the entry links hold exactly the granted claims — every
+	// denial rolled its upstream hop back.
+	if a := cl.Node(0).LinkActive(laIdx); a != grantsX {
+		t.Errorf("link la holds %d claims, %d grants", a, grantsX)
+	}
+	if a := cl.Node(1).LinkActive(lbIdx); a != grantsY {
+		t.Errorf("link lb holds %d claims, %d grants", a, grantsY)
+	}
+	if r := cl.Node(0).Metrics().Rollbacks.Load() + cl.Node(1).Metrics().Rollbacks.Load(); r == 0 {
+		t.Error("no rollbacks recorded despite denials on the shared link")
+	}
+
+	// Release exactly once: tear every grant down concurrently; everything
+	// must drain to zero (a double release would underflow the policy).
+	for _, s := range sides {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(s *side, w int) {
+				defer wg.Done()
+				s.mu.Lock()
+				seqs := s.seqs
+				s.mu.Unlock()
+				for i, seq := range seqs {
+					if i%workers != w {
+						continue
+					}
+					if err := s.local.Teardown(s.pair, seq); err != nil {
+						t.Errorf("teardown seq %d: %v", seq, err)
+					}
+				}
+			}(s, w)
+		}
+	}
+	wg.Wait()
+	for _, link := range []struct {
+		node int
+		idx  int
+	}{{0, laIdx}, {1, lbIdx}, {2, shIdx}} {
+		if a := cl.Node(link.node).LinkActive(link.idx); a != 0 {
+			t.Errorf("link %s holds %d claims after full teardown", topo.Links[link.idx].ID, a)
+		}
+	}
+	// A second teardown of the same flow is an error, not a second release.
+	if err := sides[0].local.Teardown(0, sides[0].seqs[0]); err == nil {
+		t.Error("re-teardown of a released flow succeeded")
+	}
+	if a := cl.Node(2).LinkActive(shIdx); a != 0 {
+		t.Errorf("shared link at %d after duplicate teardown", a)
+	}
+}
+
+// TestRollbackLeavesNoResidue pins the single-flow version: fill the
+// shared link from one side, then a path admission from the other side
+// must deny AND leave its already-claimed upstream hop released.
+func TestRollbackLeavesNoResidue(t *testing.T) {
+	cl := startCluster(t, sharedSpec, Config{})
+	topo := cl.topo
+	laIdx, shIdx := topo.LinkIndex("la"), topo.LinkIndex("shared")
+	bound := cl.Bounds()[shIdx]
+
+	lb := cl.Node(1).NewLocal()
+	for i := 0; i < bound; i++ {
+		granted, _, err := lb.Reserve(1, uint64(i), 1)
+		if err != nil || !granted {
+			t.Fatalf("fill reserve %d: granted=%v err=%v", i, granted, err)
+		}
+	}
+	la := cl.Node(0).NewLocal()
+	granted, _, err := la.Reserve(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted {
+		t.Fatal("admission through a full shared link granted")
+	}
+	if a := cl.Node(0).LinkActive(laIdx); a != 0 {
+		t.Fatalf("denied path left %d claims on its upstream link", a)
+	}
+	if v := cl.Node(0).Metrics().Rollbacks.Load(); v != 1 {
+		t.Fatalf("rollbacks = %d, want 1", v)
+	}
+	// One slot freed makes the same path admissible — the rollback did not
+	// eat anyone else's slot.
+	if err := lb.Teardown(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	granted, _, err = la.Reserve(0, 1, 1)
+	if err != nil || !granted {
+		t.Fatalf("reserve after slot freed: granted=%v err=%v", granted, err)
+	}
+}
+
+// TestLocalFlowLifecycle covers the client-plane protocol edges on a Local
+// handle: duplicate reserve, unknown teardown/refresh, stats aggregation,
+// and Close rolling back everything the handle holds.
+func TestLocalFlowLifecycle(t *testing.T) {
+	cl := startCluster(t, sharedSpec, Config{TTL: time.Minute})
+	topo := cl.topo
+	shIdx := topo.LinkIndex("shared")
+
+	l := cl.Node(0).NewLocal()
+	granted, _, err := l.Reserve(0, 7, 1)
+	if err != nil || !granted {
+		t.Fatalf("reserve: granted=%v err=%v", granted, err)
+	}
+	if _, _, err := l.Reserve(0, 7, 1); err == nil {
+		t.Error("duplicate reserve succeeded")
+	}
+	if err := l.Teardown(0, 99); err == nil {
+		t.Error("teardown of unknown flow succeeded")
+	}
+	if err := l.Refresh(0, 99); err == nil {
+		t.Error("refresh of unknown flow succeeded")
+	}
+	if err := l.Refresh(0, 7); err != nil {
+		t.Errorf("refresh of live flow: %v", err)
+	}
+
+	kmax, _, err := l.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantKmax int64
+	for _, b := range cl.Bounds() {
+		wantKmax += int64(b)
+	}
+	if kmax != wantKmax {
+		t.Errorf("stats kmax = %d, want cluster-wide %d", kmax, wantKmax)
+	}
+
+	l.Close()
+	if a := cl.Node(2).LinkActive(shIdx); a != 0 {
+		t.Errorf("closed handle left %d claims on the shared link", a)
+	}
+}
+
+// TestStatsConvergesEverywhere: after gossip settles, every node reports
+// the same cluster-wide active count for flows it never placed or carried.
+func TestStatsConvergesEverywhere(t *testing.T) {
+	cl := startCluster(t, sharedSpec, Config{AntiEntropy: 2 * time.Millisecond})
+	l := cl.Node(0).NewLocal()
+	const flows = 5
+	for i := 0; i < flows; i++ {
+		granted, _, err := l.Reserve(0, uint64(i), 1)
+		if err != nil || !granted {
+			t.Fatalf("reserve %d: granted=%v err=%v", i, granted, err)
+		}
+	}
+	for i := 0; i < cl.Len(); i++ {
+		i := i
+		h := cl.Node(i).NewLocal()
+		waitFor(t, "stats convergence", func() bool {
+			_, active, err := h.Stats()
+			return err == nil && active == 2*flows // la + shared, one claim each per flow
+		})
+		h.Close()
+	}
+}
+
+// TestLateJoinConvergence: a node wired in after the cluster carried load
+// learns every remote link's occupancy via anti-entropy and can route and
+// answer stats without having seen any of the original traffic.
+func TestLateJoinConvergence(t *testing.T) {
+	topoSpec := sharedSpec + "pair z c a pa\n" // give the late joiner a pair to place
+	cfg := Config{Topology: mustTopo(t, topoSpec), AntiEntropy: 2 * time.Millisecond}
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.Start(2) // node c (owner of the shared link) joins late
+
+	// Load the entry links while c is dormant: use a pair whose path stays
+	// off c's links. There is none in this fixture — every path crosses
+	// shared — so instead carry load after join and verify the joiner
+	// converges from zero knowledge.
+	cl.Join(2)
+	l := cl.Node(0).NewLocal()
+	const flows = 4
+	for i := 0; i < flows; i++ {
+		granted, _, err := l.Reserve(0, uint64(i), 1)
+		if err != nil || !granted {
+			t.Fatalf("reserve %d: granted=%v err=%v", i, granted, err)
+		}
+	}
+	h := cl.Node(2).NewLocal()
+	defer h.Close()
+	waitFor(t, "late joiner stats convergence", func() bool {
+		_, active, err := h.Stats()
+		return err == nil && active == 2*flows
+	})
+	// And the joiner can place: pair z routes c→a over pa (la + shared),
+	// both remote to c's entry plane until now.
+	granted, _, err := h.Reserve(2, 0, 1)
+	if err != nil || !granted {
+		t.Fatalf("late joiner placement: granted=%v err=%v", granted, err)
+	}
+}
+
+// TestKilledNodeReleasesAndExpires: killing an entry node releases the
+// claims it forwarded to live nodes immediately (connection drop), and a
+// killed link owner stops receiving placements — paths over its links deny
+// — while entry-side flow state drains via TTL.
+func TestKilledNodeReleasesAndExpires(t *testing.T) {
+	cl := startCluster(t, sharedSpec, Config{TTL: 150 * time.Millisecond, AntiEntropy: 2 * time.Millisecond})
+	topo := cl.topo
+	laIdx, shIdx := topo.LinkIndex("la"), topo.LinkIndex("shared")
+
+	la := cl.Node(0).NewLocal()
+	for i := 0; i < 3; i++ {
+		granted, _, err := la.Reserve(0, uint64(i), 1)
+		if err != nil || !granted {
+			t.Fatalf("reserve %d: granted=%v err=%v", i, granted, err)
+		}
+	}
+	if a := cl.Node(2).LinkActive(shIdx); a != 3 {
+		t.Fatalf("shared link holds %d claims, want 3", a)
+	}
+
+	// Kill the entry node: the shared link's owner sees the peer
+	// connection drop and releases node a's claims at once — no TTL wait.
+	cl.Kill(0)
+	waitFor(t, "killed entry node's remote claims released", func() bool {
+		return cl.Node(2).LinkActive(shIdx) == 0
+	})
+	_ = laIdx // node a's own link state died with it
+
+	// Kill the shared link's owner too: placements over it now fail fast
+	// at the surviving entry node.
+	lb := cl.Node(1).NewLocal()
+	granted, _, err := lb.Reserve(1, 100, 1)
+	if err != nil || !granted {
+		t.Fatalf("pre-kill placement: granted=%v err=%v", granted, err)
+	}
+	cl.Kill(2)
+	granted, _, err = lb.Reserve(1, 101, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted {
+		t.Fatal("placement over a killed link owner granted")
+	}
+	if cl.Node(1).Metrics().ForwardErrors.Load() == 0 {
+		t.Error("no forward errors recorded against the killed owner")
+	}
+	// The surviving entry node's flow state for the pre-kill grant expires
+	// via TTL (it can no longer refresh or tear down through the dead
+	// owner), releasing its local hop.
+	lbIdx := topo.LinkIndex("lb")
+	waitFor(t, "TTL expiry of the orphaned flow", func() bool {
+		return cl.Node(1).LinkActive(lbIdx) == 0
+	})
+	if cl.Node(1).Metrics().Expiries.Load() == 0 {
+		t.Error("no expiries recorded for the orphaned flow")
+	}
+}
+
+// TestRefreshExtendsTTL: refreshed reservations outlive several TTL
+// windows; unrefreshed ones expire on every hop.
+func TestRefreshExtendsTTL(t *testing.T) {
+	cl := startCluster(t, sharedSpec, Config{TTL: 400 * time.Millisecond})
+	topo := cl.topo
+	shIdx := topo.LinkIndex("shared")
+
+	l := cl.Node(0).NewLocal()
+	granted, _, err := l.Reserve(0, 1, 1)
+	if err != nil || !granted {
+		t.Fatalf("reserve: granted=%v err=%v", granted, err)
+	}
+	for i := 0; i < 8; i++ {
+		time.Sleep(80 * time.Millisecond)
+		if err := l.Refresh(0, 1); err != nil {
+			t.Fatalf("refresh %d: %v", i, err)
+		}
+	}
+	if a := cl.Node(2).LinkActive(shIdx); a != 1 {
+		t.Fatalf("refreshed flow expired: shared link holds %d claims", a)
+	}
+	waitFor(t, "expiry after refreshes stop", func() bool {
+		return cl.Node(2).LinkActive(shIdx) == 0 && cl.Node(0).LinkActive(topo.LinkIndex("la")) == 0
+	})
+}
+
+// twoPathSpec gives one pair two disjoint single-link paths on different
+// owners, so placement choice is observable per link.
+const twoPathSpec = `
+node a
+node b
+node c
+link lb b 8
+link lc c 8
+path via-b lb
+path via-c lc
+pair x a b via-b,via-c
+pair fill-b a b via-b
+`
+
+// TestTwoChoiceAvoidsLoadedPath: with one candidate pre-loaded and fresh
+// gossip, two-choice placements all land on the empty path; consistent
+// hashing splits and therefore blocks once the loaded path fills.
+func TestTwoChoiceAvoidsLoadedPath(t *testing.T) {
+	for _, mode := range []RouterMode{RouteTwoChoice, RouteHash} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cl := startCluster(t, twoPathSpec, Config{Router: mode, AntiEntropy: 2 * time.Millisecond})
+			topo := cl.topo
+			lbIdx, lcIdx := topo.LinkIndex("lb"), topo.LinkIndex("lc")
+			bound := cl.Bounds()[lbIdx]
+
+			l := cl.Node(0).NewLocal()
+			// Pre-load via-b to its bound through the single-path pair.
+			for i := 0; i < bound; i++ {
+				granted, _, err := l.Reserve(1, uint64(i), 1)
+				if err != nil || !granted {
+					t.Fatalf("fill %d: granted=%v err=%v", i, granted, err)
+				}
+			}
+			// Let the entry node's view of both links go fresh.
+			waitFor(t, "fresh load signal for lb", func() bool {
+				now := cl.Node(0).nowNanos()
+				load, fresh := cl.Node(0).pathLoad(topo.pathIdx["via-b"], now)
+				return fresh && load >= 1
+			})
+			waitFor(t, "fresh load signal for lc", func() bool {
+				_, fresh := cl.Node(0).pathLoad(topo.pathIdx["via-c"], cl.Node(0).nowNanos())
+				return fresh
+			})
+
+			grants := 0
+			for i := 0; i < bound; i++ {
+				granted, _, err := l.Reserve(0, uint64(i), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if granted {
+					grants++
+				}
+			}
+			switch mode {
+			case RouteTwoChoice:
+				// Every placement sees via-b full and via-c emptier; all
+				// land on via-c.
+				if grants != bound {
+					t.Errorf("two-choice granted %d/%d with an empty alternate path", grants, bound)
+				}
+				if a := cl.Node(2).LinkActive(lcIdx); int(a) != bound {
+					t.Errorf("alternate link holds %d claims, want %d", a, bound)
+				}
+				if cl.Node(0).Metrics().RouteAlt.Load() == 0 {
+					t.Error("no alternate placements recorded")
+				}
+			case RouteHash:
+				// The hash splits placements over both paths regardless of
+				// load, so some land on the full via-b and block.
+				if grants == bound {
+					t.Skip("hash happened to avoid the loaded path for every flow ID (improbable)")
+				}
+				if cl.Node(0).Metrics().PathDenies.Load() == 0 {
+					t.Error("hash placement recorded no denies on a full path")
+				}
+			}
+		})
+	}
+}
+
+// TestBurstPlacementBalances: a back-to-back burst from one entry node —
+// faster than any gossip round trip — still spreads over both candidate
+// paths, because the router folds the node's own outstanding claims into
+// each remote link's load estimate. Without own-claim sharpening the whole
+// burst herds onto whichever path the last gossip round called empty.
+func TestBurstPlacementBalances(t *testing.T) {
+	cl := startCluster(t, twoPathSpec, Config{AntiEntropy: 2 * time.Millisecond})
+	topo := cl.topo
+	bound := cl.Bounds()[topo.LinkIndex("lb")]
+
+	// Wait until both links' (empty) snapshots have arrived, so no
+	// placement falls back to plain hashing.
+	waitFor(t, "both load signals fresh", func() bool {
+		now := cl.Node(0).nowNanos()
+		_, fb := cl.Node(0).pathLoad(topo.pathIdx["via-b"], now)
+		_, fc := cl.Node(0).pathLoad(topo.pathIdx["via-c"], now)
+		return fb && fc
+	})
+	l := cl.Node(0).NewLocal()
+	grants := 0
+	for i := 0; i < 2*bound; i++ {
+		granted, _, err := l.Reserve(0, uint64(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if granted {
+			grants++
+		}
+	}
+	if grants != 2*bound {
+		t.Errorf("burst granted %d/%d across two paths of bound %d each", grants, 2*bound, bound)
+	}
+	if v := cl.Node(0).Metrics().RouteFallback.Load(); v != 0 {
+		t.Errorf("%d placements fell back to hashing despite fresh signals", v)
+	}
+}
+
+// TestStaleSignalsFallBackToHash: with gossip disabled the entry node
+// never learns remote loads, so two-choice degrades to the hash anchor and
+// says so in its metrics.
+func TestStaleSignalsFallBackToHash(t *testing.T) {
+	cl := startCluster(t, twoPathSpec, Config{AntiEntropy: -1})
+	l := cl.Node(0).NewLocal()
+	const flows = 8
+	for i := 0; i < flows; i++ {
+		if _, _, err := l.Reserve(0, uint64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := cl.Node(0).Metrics().RouteFallback.Load(); v != flows {
+		t.Errorf("route fallbacks = %d, want %d (every placement blind)", v, flows)
+	}
+}
+
+// TestLocalAdmitZeroAlloc: the steady-state local-admit hot path — a
+// reserve and teardown over a single locally-owned link — allocates
+// nothing once claim and flow records are in the free lists.
+func TestLocalAdmitZeroAlloc(t *testing.T) {
+	cl := startCluster(t, "node a\nlink l a 64\npath p l\npair x a a p\n", Config{AntiEntropy: -1})
+	l := cl.Node(0).NewLocal()
+	// Warm the free lists.
+	for i := 0; i < 4; i++ {
+		if _, _, err := l.Reserve(0, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Teardown(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		granted, _, err := l.Reserve(0, 1, 1)
+		if err != nil || !granted {
+			t.Fatalf("reserve: granted=%v err=%v", granted, err)
+		}
+		if err := l.Teardown(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("local admit+teardown allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTopology drives the spec parser with arbitrary text: it must
+// never panic, and any spec it accepts must be internally consistent —
+// every index in a parsed topology in range, every declared ID resolvable.
+// The seed corpus covers each directive, each error branch, and the Ring
+// generator's output.
+func FuzzParseTopology(f *testing.F) {
+	f.Add("node a\nlink ab a 10\npath p ab\npair x a a p\n")
+	f.Add(Ring(4, 32, true))
+	f.Add(Ring(1, 8, false))
+	f.Add("# only comments\n\n   \n")
+	f.Add("node a\nnode a\n")
+	f.Add("link ab nowhere 10\n")
+	f.Add("node a\nlink ab a -1\n")
+	f.Add("node a\nlink ab a 1e309\n")
+	f.Add("node a\nlink ab a 10\npath p ab,ab\n")
+	f.Add("node a\nlink ab a 10\npath p ab\npair x a b p,p\n")
+	f.Add("pair x a b p\n")
+	f.Add("node a\r\nlink ab a 10\n")
+	f.Add(strings.Repeat("node x\n", 3))
+	f.Fuzz(func(t *testing.T, spec string) {
+		topo, err := ParseTopology(spec)
+		if err != nil {
+			if topo != nil {
+				t.Fatal("non-nil topology alongside an error")
+			}
+			return
+		}
+		if len(topo.Nodes) == 0 || len(topo.Pairs) == 0 {
+			t.Fatal("accepted a topology with no nodes or no pairs")
+		}
+		if len(topo.Nodes) > MaxNodes || len(topo.Links) > MaxLinks || len(topo.Pairs) > MaxPairs {
+			t.Fatalf("accepted an oversized topology: %d nodes, %d links, %d pairs",
+				len(topo.Nodes), len(topo.Links), len(topo.Pairs))
+		}
+		for i, l := range topo.Links {
+			if l.Owner < 0 || l.Owner >= len(topo.Nodes) {
+				t.Fatalf("link %d owner %d out of range", i, l.Owner)
+			}
+			if !(l.Capacity > 0) {
+				t.Fatalf("link %d capacity %g accepted", i, l.Capacity)
+			}
+			if l.Index != i {
+				t.Fatalf("link %d carries index %d", i, l.Index)
+			}
+			if topo.LinkIndex(l.ID) != i {
+				t.Fatalf("link %q does not resolve to its own index", l.ID)
+			}
+		}
+		for i, p := range topo.Paths {
+			if len(p.Links) == 0 && p.ID == "" {
+				t.Fatalf("path %d is empty and unnamed", i)
+			}
+			if len(p.Links) > MaxPathLinks {
+				t.Fatalf("path %q has %d links", p.ID, len(p.Links))
+			}
+			for _, gi := range p.Links {
+				if gi < 0 || gi >= len(topo.Links) {
+					t.Fatalf("path %q traverses out-of-range link %d", p.ID, gi)
+				}
+			}
+		}
+		for i, pr := range topo.Pairs {
+			if pr.Index != i {
+				t.Fatalf("pair %d carries index %d", i, pr.Index)
+			}
+			if pr.Src < 0 || pr.Src >= len(topo.Nodes) || pr.Dst < 0 || pr.Dst >= len(topo.Nodes) {
+				t.Fatalf("pair %q endpoints out of range", pr.ID)
+			}
+			for _, pi := range pr.Paths {
+				if pi < 0 || pi >= len(topo.Paths) {
+					t.Fatalf("pair %q references out-of-range path %d", pr.ID, pi)
+				}
+			}
+		}
+		for _, n := range topo.Nodes {
+			if topo.NodeIndex(n) < 0 {
+				t.Fatalf("node %q does not resolve", n)
+			}
+		}
+	})
+}

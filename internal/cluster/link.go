@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"sync"
+
+	"beqos/internal/policy"
+)
+
+// linkState is one locally-owned link: the admission policy that bounds it
+// and the claim table that makes every admission releasable exactly once.
+// The policy's CAS-bounded counters are the no-over-admit guarantee —
+// concurrent claims (from this node's entry flows and from every peer
+// forwarding hops here) race on the same atomics the single-link serving
+// plane uses. The claim table is the bookkeeping around the decision:
+// which hop keys hold slots, who owns them (an inbound peer connection, or
+// this node's own entry plane), and when they expire.
+type linkState struct {
+	link  Link
+	bound int
+	pol   policy.Policy
+	// needsClock mirrors resv's polClock: the default counting policy is
+	// clockless and must not pay a time read per admission.
+	needsClock bool
+
+	mu     sync.Mutex
+	claims map[uint64]*claim
+	free   *claim
+	// expired is sweep scratch, reused across ticks.
+	expired []*claim
+}
+
+// claim is one admitted hop on this link. Claims are recycled through the
+// free list so the steady-state admit path allocates nothing.
+type claim struct {
+	key   uint64
+	owner *peerSess // inbound peer connection, nil for entry-local claims
+	rate  float64
+	// deadline is the expiry instant in node-monotonic nanoseconds; 0
+	// means the claim never expires (no cluster TTL).
+	deadline int64
+	next     *claim
+}
+
+func newLinkState(l Link, bound int) (*linkState, error) {
+	counting, err := policy.NewCounting(l.Capacity, bound)
+	if err != nil {
+		return nil, err
+	}
+	var pol policy.Policy = counting
+	ls := &linkState{link: l, bound: bound, pol: pol, claims: make(map[uint64]*claim)}
+	if cu, ok := pol.(policy.ClockUser); ok && cu.NeedsClock() {
+		ls.needsClock = true
+	}
+	return ls, nil
+}
+
+func (ls *linkState) polNow(now int64) int64 {
+	if ls.needsClock {
+		return now
+	}
+	return 0
+}
+
+// admitStatus is admit's verdict beyond the policy's own decision.
+type admitStatus int8
+
+const (
+	admitGranted admitStatus = iota
+	admitDenied
+	admitDuplicate
+)
+
+// admit claims one hop on the link: the policy decides (lock-free deny),
+// the claim table records. A duplicate hop key rolls the policy claim back
+// and leaves all state untouched — hop keys are minted per admission by
+// entry nodes, so a duplicate is a protocol error, not a retransmit.
+func (ls *linkState) admit(now int64, key uint64, rate float64, class uint8, owner *peerSess, deadline int64) (policy.Decision, admitStatus) {
+	dec := ls.pol.Admit(ls.polNow(now), key, rate, class)
+	if !dec.Admit {
+		return dec, admitDenied
+	}
+	ls.mu.Lock()
+	if _, dup := ls.claims[key]; dup {
+		ls.mu.Unlock()
+		ls.pol.Release(ls.polNow(now), rate)
+		return dec, admitDuplicate
+	}
+	c := ls.free
+	if c != nil {
+		ls.free = c.next
+		c.next = nil
+	} else {
+		c = new(claim)
+	}
+	c.key, c.owner, c.rate, c.deadline = key, owner, rate, deadline
+	ls.claims[key] = c
+	if owner != nil {
+		owner.track(uint64(ls.link.Index)<<idxShift | key)
+	}
+	ls.mu.Unlock()
+	return dec, admitGranted
+}
+
+// release returns the hop's claim to the policy. It reports false when no
+// claim holds the key — already released, expired, or never admitted — so
+// every racing release path (teardown, rollback, connection drop, TTL)
+// composes to exactly one policy release per admission.
+func (ls *linkState) release(now int64, key uint64) bool {
+	ls.mu.Lock()
+	c, ok := ls.claims[key]
+	if !ok {
+		ls.mu.Unlock()
+		return false
+	}
+	delete(ls.claims, key)
+	if c.owner != nil {
+		c.owner.untrack(uint64(ls.link.Index)<<idxShift | key)
+	}
+	rate := c.rate
+	c.owner = nil
+	c.next = ls.free
+	ls.free = c
+	ls.pol.Release(ls.polNow(now), rate)
+	ls.mu.Unlock()
+	return true
+}
+
+// refresh renews the claim's deadline; it reports whether the claim lives.
+func (ls *linkState) refresh(key uint64, deadline int64) bool {
+	ls.mu.Lock()
+	c, ok := ls.claims[key]
+	if ok {
+		c.deadline = deadline
+	}
+	ls.mu.Unlock()
+	return ok
+}
+
+// expire releases every claim whose deadline has passed and returns how
+// many went. The scan is proportional to the live claims on this link —
+// the cluster plane's TTL is a correctness backstop (crashed entry nodes,
+// partitioned peers), not a per-request hot path, so it trades the resv
+// plane's timing wheels for simplicity.
+func (ls *linkState) expire(now int64) int {
+	ls.mu.Lock()
+	ls.expired = ls.expired[:0]
+	for _, c := range ls.claims {
+		if c.deadline != 0 && c.deadline <= now {
+			ls.expired = append(ls.expired, c)
+		}
+	}
+	for _, c := range ls.expired {
+		delete(ls.claims, c.key)
+		if c.owner != nil {
+			c.owner.untrack(uint64(ls.link.Index)<<idxShift | c.key)
+		}
+		ls.pol.Release(ls.polNow(now), c.rate)
+		c.owner = nil
+		c.next = ls.free
+		ls.free = c
+	}
+	n := len(ls.expired)
+	ls.mu.Unlock()
+	return n
+}
+
+// peerSess tracks the claims an inbound peer connection owns, so dropping
+// the connection (a crashed or partitioned entry node) releases them
+// without waiting for the TTL backstop. IDs are wire hop IDs
+// (linkIdx<<48 | hopKey).
+type peerSess struct {
+	mu     sync.Mutex
+	claims map[uint64]struct{}
+}
+
+func newPeerSess() *peerSess {
+	return &peerSess{claims: make(map[uint64]struct{})}
+}
+
+func (p *peerSess) track(wireID uint64) {
+	p.mu.Lock()
+	p.claims[wireID] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *peerSess) untrack(wireID uint64) {
+	p.mu.Lock()
+	delete(p.claims, wireID)
+	p.mu.Unlock()
+}
+
+// drain snapshots and clears the tracked set — the connection is gone, so
+// nothing races new claims onto it.
+func (p *peerSess) drain() []uint64 {
+	p.mu.Lock()
+	ids := make([]uint64, 0, len(p.claims))
+	for id := range p.claims {
+		ids = append(ids, id)
+	}
+	p.claims = make(map[uint64]struct{})
+	p.mu.Unlock()
+	return ids
+}

@@ -1,0 +1,976 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"beqos/internal/obs"
+	"beqos/internal/resv"
+)
+
+// Node is one member of a beqos cluster: it owns the admission policies of
+// its links, serves the resv wire protocol on two planes — a client plane
+// (path reservations, FlowID = pairIdx<<48 | seq) and a peer plane (link
+// hops from other nodes, FlowID = linkIdx<<48 | hopKey) — and gossips its
+// links' occupancy so every other node can route against it.
+//
+// The hot paths are allocation-free at steady state: a local admission is
+// a policy CAS plus free-listed claim bookkeeping, and a forwarded hop
+// rides the mux transport's pooled call slots and vectored writes.
+type Node struct {
+	idx  int
+	name string
+	topo *Topology
+
+	ttl        time.Duration
+	staleNanos int64
+	routerMode RouterMode
+	epoch      time.Time
+
+	// links are the locally-owned links; byGlobal maps a global link index
+	// to its local state (nil for links other nodes own). bounds holds
+	// every link's admission bound — local and remote — since topology and
+	// utility are cluster-wide knowledge; kmaxSum is their sum, the
+	// cluster-wide Stats threshold.
+	links    []*linkState
+	byGlobal []*linkState
+	bounds   []int
+	kmaxSum  int
+
+	// peers[j] is the outbound transport to node j (nil for self, and
+	// until the cluster wires it — late-joining nodes appear when their
+	// pointer lands).
+	peers []atomic.Pointer[peer]
+	view  *view
+	// own[g] counts the claims THIS node's entry plane currently holds on
+	// remote link g. It is a lower bound on g's true occupancy that no
+	// gossip lag can stale, so the router folds it into the load estimate —
+	// without it, a burst of placements from one entry node herds onto
+	// whichever path the last gossip round said was empty.
+	own []atomic.Int64
+
+	// hopSeq mints hop keys: idx<<40 | seq identifies one path admission
+	// on every link it claims, unique across concurrently-placing entry
+	// nodes. gossipSeq versions this node's occupancy snapshots.
+	hopSeq    atomic.Uint64
+	gossipSeq atomic.Uint64
+
+	cmu    sync.Mutex
+	cconns map[*cconn]struct{}
+
+	reg     *obs.Registry
+	metrics *nodeMetrics
+
+	ctx      context.Context
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	imu     sync.Mutex
+	inbound map[net.Conn]struct{}
+
+	// Logf, if non-nil, receives one line per notable event (rollbacks,
+	// forward errors, expiries). Set before serving.
+	Logf func(format string, args ...interface{})
+}
+
+// peer is the outbound state toward one other node: the mux transport hops
+// ride, and the piggyback dedup — the last active count gossiped per local
+// link, so forwarding traffic re-advertises a link only when its occupancy
+// actually moved.
+type peer struct {
+	mc       *resv.MuxClient
+	lastSent []atomic.Int64
+}
+
+// pathFlow is one granted path reservation at its entry node.
+type pathFlow struct {
+	id     uint64 // client-facing FlowID (pairIdx<<48 | seq)
+	hopKey uint64 // the 48-bit key claimed on every link of the path
+	path   int32  // topology path index
+	// pending marks an admission still claiming its hops; only the
+	// admitting goroutine may touch a pending flow.
+	pending  bool
+	share    float64
+	deadline int64
+	next     *pathFlow
+}
+
+// cconn is one client connection's (or Local handle's) path-flow table.
+type cconn struct {
+	mu     sync.Mutex
+	closed bool
+	flows  map[uint64]*pathFlow
+	free   *pathFlow
+}
+
+func newCConn() *cconn {
+	return &cconn{flows: make(map[uint64]*pathFlow)}
+}
+
+// get pops a recycled pathFlow (or makes one). Caller holds c.mu.
+func (c *cconn) get() *pathFlow {
+	pf := c.free
+	if pf != nil {
+		c.free = pf.next
+		pf.next = nil
+		return pf
+	}
+	return new(pathFlow)
+}
+
+// put recycles a pathFlow. Caller holds c.mu.
+func (c *cconn) put(pf *pathFlow) {
+	*pf = pathFlow{next: c.free}
+	c.free = pf
+}
+
+// nodeMetrics is a node's instrument set (registered as cluster_*).
+type nodeMetrics struct {
+	PathRequests  *obs.Counter
+	PathGrants    *obs.Counter
+	PathDenies    *obs.Counter
+	PathTeardowns *obs.Counter
+	Rollbacks     *obs.Counter
+	Forwards      *obs.Counter
+	ForwardErrors *obs.Counter
+	GossipIn      *obs.Counter
+	GossipOut     *obs.Counter
+	Expiries      *obs.Counter
+	RouteFallback *obs.Counter
+	RouteAlt      *obs.Counter
+	Errors        *obs.Counter
+	HopNS         *obs.Histogram
+	RequestNS     *obs.Histogram
+}
+
+func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
+	return &nodeMetrics{
+		PathRequests:  reg.Counter("cluster_path_requests_total", "path reservation requests handled at this entry node"),
+		PathGrants:    reg.Counter("cluster_path_grants_total", "path reservations granted end to end"),
+		PathDenies:    reg.Counter("cluster_path_denies_total", "path reservations denied by some link"),
+		PathTeardowns: reg.Counter("cluster_path_teardowns_total", "path reservations torn down by their client"),
+		Rollbacks:     reg.Counter("cluster_rollbacks_total", "denied paths whose upstream claims were rolled back"),
+		Forwards:      reg.Counter("cluster_forwards_total", "link hops forwarded to peer nodes"),
+		ForwardErrors: reg.Counter("cluster_forward_errors_total", "forwarded hops failed by transport errors (unreachable peers)"),
+		GossipIn:      reg.Counter("cluster_gossip_in_total", "occupancy snapshots received"),
+		GossipOut:     reg.Counter("cluster_gossip_out_total", "occupancy snapshots sent (piggybacked + anti-entropy)"),
+		Expiries:      reg.Counter("cluster_expiries_total", "claims and path flows expired by the TTL backstop"),
+		RouteFallback: reg.Counter("cluster_route_fallback_total", "two-choice placements degraded to consistent hash on stale load signals"),
+		RouteAlt:      reg.Counter("cluster_route_alternate_total", "two-choice placements that picked the less-loaded alternate over the hash anchor"),
+		Errors:        reg.Counter("cluster_errors_total", "protocol errors answered"),
+		HopNS:         reg.Histogram("cluster_hop_ns", "per-hop forward round-trip latency, nanoseconds"),
+		RequestNS:     reg.Histogram("cluster_request_ns", "per-request service latency, nanoseconds (batch-amortized)"),
+	}
+}
+
+// newNode builds a node over the shared topology. bounds must hold every
+// link's admission bound (the cluster computes them once from the utility
+// function).
+func newNode(idx int, topo *Topology, bounds []int, ttl time.Duration, router RouterMode, stale time.Duration) (*Node, error) {
+	n := &Node{
+		idx:        idx,
+		name:       topo.Nodes[idx],
+		topo:       topo,
+		ttl:        ttl,
+		staleNanos: int64(stale),
+		routerMode: router,
+		epoch:      time.Now(),
+		byGlobal:   make([]*linkState, len(topo.Links)),
+		bounds:     bounds,
+		peers:      make([]atomic.Pointer[peer], len(topo.Nodes)),
+		view:       newView(len(topo.Links)),
+		own:        make([]atomic.Int64, len(topo.Links)),
+		cconns:     make(map[*cconn]struct{}),
+		reg:        obs.New(),
+		ctx:        context.Background(),
+		stop:       make(chan struct{}),
+		inbound:    make(map[net.Conn]struct{}),
+	}
+	for gi := range topo.Links {
+		l := &topo.Links[gi]
+		if l.Owner != idx {
+			continue
+		}
+		ls, err := newLinkState(*l, bounds[gi])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s link %s: %w", n.name, l.ID, err)
+		}
+		n.links = append(n.links, ls)
+		n.byGlobal[gi] = ls
+		n.kmaxSum = 0 // recomputed below over all links
+	}
+	for _, b := range bounds {
+		n.kmaxSum += b
+	}
+	n.metrics = newNodeMetrics(n.reg)
+	n.reg.GaugeFunc("cluster_node_index", "this node's index in the topology", func() float64 { return float64(idx) })
+	n.reg.GaugeFunc("cluster_active_total", "cluster-wide active path claims as this node sees them", func() float64 {
+		return float64(n.activeSum())
+	})
+	for _, ls := range n.links {
+		ls := ls
+		id := metricName(ls.link.ID)
+		n.reg.GaugeFunc("cluster_link_active_"+id, "live claims on link "+ls.link.ID, func() float64 {
+			return float64(ls.pol.Active())
+		})
+		n.reg.GaugeFunc("cluster_link_bound_"+id, "admission bound kmax of link "+ls.link.ID, func() float64 {
+			return float64(ls.bound)
+		})
+	}
+	return n, nil
+}
+
+// metricName makes a link ID safe as a metric-name suffix.
+func metricName(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+// Name returns the node's topology name.
+func (n *Node) Name() string { return n.name }
+
+// Index returns the node's topology index.
+func (n *Node) Index() int { return n.idx }
+
+// Registry returns the node's metrics registry, for /metrics mounting.
+func (n *Node) Registry() *obs.Registry { return n.reg }
+
+// Metrics returns the node's instrument set.
+func (n *Node) Metrics() *nodeMetrics { return n.metrics }
+
+// LinkActive returns the live claim count of a locally-owned link, or -1
+// when the link is owned elsewhere.
+func (n *Node) LinkActive(global int) int64 {
+	if global < 0 || global >= len(n.byGlobal) || n.byGlobal[global] == nil {
+		return -1
+	}
+	return n.byGlobal[global].pol.Active()
+}
+
+// nowNanos is the node's monotonic clock.
+func (n *Node) nowNanos() int64 { return int64(time.Since(n.epoch)) }
+
+func (n *Node) logf(format string, args ...interface{}) {
+	if n.Logf != nil {
+		n.Logf(format, args...)
+	}
+}
+
+// connectPeer installs the outbound transport to node j over an
+// established connection (the other end must be served by j's
+// HandlePeerConn). Safe to call while the node is serving — late joins
+// become routable the moment the pointer lands.
+func (n *Node) connectPeer(j int, nc net.Conn) {
+	p := &peer{mc: resv.NewMuxClient(nc), lastSent: make([]atomic.Int64, len(n.links))}
+	for i := range p.lastSent {
+		p.lastSent[i].Store(-1)
+	}
+	n.peers[j].Store(p)
+}
+
+// start launches the node's background loops: the anti-entropy gossip
+// tick and, with a TTL, the expiry sweep.
+func (n *Node) start(antiEntropy time.Duration) {
+	if antiEntropy > 0 {
+		n.wg.Add(1)
+		go n.antiEntropyLoop(antiEntropy)
+	}
+	if n.ttl > 0 {
+		n.wg.Add(1)
+		go n.expireLoop()
+	}
+}
+
+// Close stops the node: background loops, outbound peer transports, and
+// inbound connections. Claims its outbound flows held on other nodes are
+// released by their connection drops; claims held on this node die with
+// the process (or, for tests, with the claim tables).
+func (n *Node) Close() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		for j := range n.peers {
+			if p := n.peers[j].Load(); p != nil {
+				_ = p.mc.Close()
+			}
+		}
+		n.imu.Lock()
+		for nc := range n.inbound {
+			_ = nc.Close()
+		}
+		n.imu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+func (n *Node) antiEntropyLoop(interval time.Duration) {
+	defer n.wg.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			for j := range n.peers {
+				if p := n.peers[j].Load(); p != nil {
+					n.gossipAll(p)
+				}
+			}
+		}
+	}
+}
+
+// gossipAll advertises every local link to one peer unconditionally — the
+// anti-entropy tick, which also catches peers that joined after the last
+// occupancy change.
+func (n *Node) gossipAll(p *peer) {
+	for li, ls := range n.links {
+		a := ls.pol.Active()
+		if n.postGossip(p, ls, a) {
+			p.lastSent[li].Store(a)
+		}
+	}
+}
+
+// piggyback advertises local links whose occupancy moved since the last
+// snapshot this peer got — called on the forward path, so gossip rides the
+// vectored writes request traffic already pays for.
+func (n *Node) piggyback(p *peer) {
+	for li, ls := range n.links {
+		a := ls.pol.Active()
+		if p.lastSent[li].Load() == a {
+			continue
+		}
+		if n.postGossip(p, ls, a) {
+			p.lastSent[li].Store(a)
+		}
+	}
+}
+
+func (n *Node) postGossip(p *peer, ls *linkState, active int64) bool {
+	v := n.gossipSeq.Add(1)
+	err := p.mc.Post(resv.Frame{
+		Type:   resv.MsgGossip,
+		FlowID: uint64(ls.link.Index)<<idxShift | v&keyMask,
+		Value:  float64(active),
+	})
+	if err != nil {
+		return false
+	}
+	n.metrics.GossipOut.Inc()
+	return true
+}
+
+// applyGossip installs a received occupancy snapshot.
+func (n *Node) applyGossip(f resv.Frame, now int64) {
+	g := int(f.FlowID >> idxShift)
+	if g >= len(n.topo.Links) || n.byGlobal[g] != nil {
+		return // unknown link, or our own (the policy is the truth)
+	}
+	a := f.Value
+	if math.IsNaN(a) || a < 0 || a > float64(maxGossipActive) || a != math.Trunc(a) {
+		return
+	}
+	if n.view.apply(g, f.FlowID&keyMask, int64(a), now) {
+		n.metrics.GossipIn.Inc()
+	}
+}
+
+// maxGossipActive bounds a gossiped count to what float64 carries exactly.
+const maxGossipActive = int64(1) << 53
+
+// activeSum is the cluster-wide active claim count as this node sees it:
+// its own links' policies plus the gossip view of every remote link.
+func (n *Node) activeSum() int64 {
+	var sum int64
+	for g := range n.topo.Links {
+		if ls := n.byGlobal[g]; ls != nil {
+			sum += ls.pol.Active()
+		} else {
+			a, _ := n.view.load(g)
+			sum += a
+		}
+	}
+	return sum
+}
+
+func (n *Node) expireLoop() {
+	defer n.wg.Done()
+	res := n.ttl / 4
+	if res < time.Millisecond {
+		res = time.Millisecond
+	}
+	tick := time.NewTicker(res)
+	defer tick.Stop()
+	var scratch []expiredFlow
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C:
+			now := n.nowNanos()
+			for _, ls := range n.links {
+				if m := ls.expire(now); m > 0 {
+					n.metrics.Expiries.Add(uint64(m))
+					n.logf("cluster %s: expired %d claims on link %s", n.name, m, ls.link.ID)
+				}
+			}
+			scratch = n.expireFlows(now, scratch[:0])
+		}
+	}
+}
+
+type expiredFlow struct {
+	path   int32
+	hopKey uint64
+}
+
+// expireFlows sweeps every client connection's path flows and rolls back
+// the expired ones end to end (their link claims may have expired first at
+// their owners; release is idempotent by claim-table removal).
+func (n *Node) expireFlows(now int64, scratch []expiredFlow) []expiredFlow {
+	n.cmu.Lock()
+	conns := make([]*cconn, 0, len(n.cconns))
+	for c := range n.cconns {
+		conns = append(conns, c)
+	}
+	n.cmu.Unlock()
+	for _, c := range conns {
+		scratch = scratch[:0]
+		c.mu.Lock()
+		for id, pf := range c.flows {
+			if !pf.pending && pf.deadline != 0 && pf.deadline <= now {
+				scratch = append(scratch, expiredFlow{path: pf.path, hopKey: pf.hopKey})
+				delete(c.flows, id)
+				c.put(pf)
+			}
+		}
+		c.mu.Unlock()
+		for _, e := range scratch {
+			n.releaseHops(int(e.path), e.hopKey, len(n.topo.Paths[e.path].Links), now)
+			n.metrics.Expiries.Inc()
+		}
+	}
+	return scratch
+}
+
+// ---- serving ----
+
+const (
+	readBufSize         = 4096
+	writeFlushThreshold = 16 * 1024
+)
+
+// ServeClients accepts client-plane connections until ln closes. It always
+// returns a non-nil error (net.ErrClosed after a clean shutdown).
+func (n *Node) ServeClients(ln net.Listener) error {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go n.HandleClientConn(nc)
+	}
+}
+
+// HandleClientConn serves one client-plane connection: path reservations
+// addressed by pair (FlowID = pairIdx<<48 | seq), stats, refreshes, and
+// teardowns. Dropping the connection rolls back every path flow it holds.
+func (n *Node) HandleClientConn(nc net.Conn) {
+	c := newCConn()
+	n.cmu.Lock()
+	n.cconns[c] = struct{}{}
+	n.cmu.Unlock()
+	n.trackInbound(nc)
+	n.serveConn(nc, func(f resv.Frame, now int64) resv.Frame {
+		return n.dispatchClient(c, f, now)
+	})
+	n.untrackInbound(nc)
+	n.cmu.Lock()
+	delete(n.cconns, c)
+	n.cmu.Unlock()
+	n.rollbackConn(c)
+}
+
+// HandlePeerConn serves one peer-plane connection: single-link hops
+// addressed by global link index (FlowID = linkIdx<<48 | hopKey) and
+// gossip. Dropping the connection releases every claim it owns — a
+// crashed entry node frees its downstream hops without waiting for TTL.
+func (n *Node) HandlePeerConn(nc net.Conn) {
+	sess := newPeerSess()
+	n.trackInbound(nc)
+	n.serveConn(nc, func(f resv.Frame, now int64) resv.Frame {
+		return n.dispatchPeer(sess, f, now)
+	})
+	n.untrackInbound(nc)
+	now := n.nowNanos()
+	for _, wireID := range sess.drain() {
+		if ls := n.byGlobal[wireID>>idxShift]; ls != nil {
+			ls.release(now, wireID&keyMask)
+		}
+	}
+}
+
+func (n *Node) trackInbound(nc net.Conn) {
+	n.imu.Lock()
+	n.inbound[nc] = struct{}{}
+	n.imu.Unlock()
+}
+
+func (n *Node) untrackInbound(nc net.Conn) {
+	n.imu.Lock()
+	delete(n.inbound, nc)
+	n.imu.Unlock()
+}
+
+// serveConn is the shared batched frame loop (the resv serving idiom):
+// decode every complete frame one read buffered, dispatch, coalesce the
+// replies into one write, flush on idle. Gossip frames produce no reply
+// (dispatch returns the zero Frame).
+func (n *Node) serveConn(nc net.Conn, dispatch func(resv.Frame, int64) resv.Frame) {
+	defer func() { _ = nc.Close() }()
+	br := bufio.NewReaderSize(nc, readBufSize)
+	wbuf := make([]byte, 0, 1024)
+	var frames []resv.Frame
+	for {
+		if _, err := br.Peek(resv.FrameSize); err != nil {
+			if n.Logf != nil && !(errors.Is(err, io.EOF) && br.Buffered() == 0) && !errors.Is(err, net.ErrClosed) {
+				n.logf("cluster %s: connection %v closed: %v", n.name, nc.RemoteAddr(), err)
+			}
+			return
+		}
+		data, _ := br.Peek(br.Buffered())
+		var rest []byte
+		var derr error
+		frames, rest, derr = resv.DecodeFrames(frames[:0], data)
+		if _, err := br.Discard(len(data) - len(rest)); err != nil {
+			return
+		}
+		t0 := time.Now()
+		now := n.nowNanos()
+		for _, f := range frames {
+			reply := dispatch(f, now)
+			if reply.Type == 0 {
+				continue
+			}
+			wbuf = resv.AppendFrame(wbuf, reply)
+			if len(wbuf) >= writeFlushThreshold {
+				if !n.flush(nc, &wbuf) {
+					return
+				}
+			}
+		}
+		if len(frames) > 0 {
+			n.metrics.RequestNS.RecordN(uint64(time.Since(t0))/uint64(len(frames)), uint64(len(frames)))
+		}
+		if !n.flush(nc, &wbuf) {
+			return
+		}
+		if derr != nil {
+			n.logf("cluster %s: connection %v closed: %v", n.name, nc.RemoteAddr(), derr)
+			return
+		}
+	}
+}
+
+func (n *Node) flush(nc net.Conn, wbuf *[]byte) bool {
+	if len(*wbuf) == 0 {
+		return true
+	}
+	_, err := nc.Write(*wbuf)
+	*wbuf = (*wbuf)[:0]
+	return err == nil
+}
+
+// rollbackConn releases every installed path flow of a departing client
+// connection. Pending flows (an admission mid-claim on another goroutine)
+// are left to their admitting goroutine, which observes closed at
+// finalization and rolls itself back.
+func (n *Node) rollbackConn(c *cconn) {
+	now := n.nowNanos()
+	c.mu.Lock()
+	c.closed = true
+	flows := make([]expiredFlow, 0, len(c.flows))
+	for id, pf := range c.flows {
+		if pf.pending {
+			continue
+		}
+		flows = append(flows, expiredFlow{path: pf.path, hopKey: pf.hopKey})
+		delete(c.flows, id)
+		c.put(pf)
+	}
+	c.mu.Unlock()
+	for _, e := range flows {
+		n.releaseHops(int(e.path), e.hopKey, len(n.topo.Paths[e.path].Links), now)
+	}
+	if len(flows) > 0 {
+		n.logf("cluster %s: released %d path flows from departing client", n.name, len(flows))
+	}
+}
+
+// ---- client-plane dispatch ----
+
+func (n *Node) dispatchClient(c *cconn, f resv.Frame, now int64) resv.Frame {
+	switch f.Type {
+	case resv.MsgRequest:
+		return n.reservePath(c, f, now)
+	case resv.MsgTeardown:
+		return n.teardownPath(c, f, now)
+	case resv.MsgRefresh:
+		return n.refreshPath(c, f, now)
+	case resv.MsgStats:
+		return n.statsReply(f)
+	case resv.MsgGossip:
+		n.applyGossip(f, now)
+		return resv.Frame{}
+	default:
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+	}
+}
+
+// reservePath admits one flow along a pair's routed path: all links or
+// none. Upstream claims are rolled back the moment any hop denies or an
+// owner is unreachable, so a denied path leaves no residue anywhere.
+func (n *Node) reservePath(c *cconn, f resv.Frame, now int64) resv.Frame {
+	pairIdx := int(f.FlowID >> idxShift)
+	if pairIdx >= len(n.topo.Pairs) || !(f.Value >= 0) || math.IsInf(f.Value, 0) {
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+	}
+	n.metrics.PathRequests.Inc()
+	pr := &n.topo.Pairs[pairIdx]
+	pathIdx, fallback, alternate := n.route(pr, f.FlowID, now)
+	if fallback {
+		n.metrics.RouteFallback.Inc()
+	}
+	if alternate {
+		n.metrics.RouteAlt.Inc()
+	}
+
+	// Install a pending placeholder first: it reserves the client flow ID
+	// on this connection, and marks the hops below as owned by this
+	// admission until it finalizes.
+	hopKey := uint64(n.idx)<<entryShift | n.hopSeq.Add(1)&seqMask
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+	}
+	if _, dup := c.flows[f.FlowID]; dup {
+		c.mu.Unlock()
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeDuplicateFlow)}
+	}
+	pf := c.get()
+	pf.id, pf.hopKey, pf.path, pf.pending = f.FlowID, hopKey, int32(pathIdx), true
+	c.flows[f.FlowID] = pf
+	c.mu.Unlock()
+
+	var deadline int64
+	if n.ttl > 0 {
+		deadline = now + int64(n.ttl)
+	}
+	path := &n.topo.Paths[pathIdx]
+	minShare := math.MaxFloat64
+	var denyLoad float64
+	claimed, failed := 0, false
+	for _, g := range path.Links {
+		if ls := n.byGlobal[g]; ls != nil {
+			dec, st := ls.admit(now, hopKey, f.Value, f.Class, nil, deadline)
+			if st != admitGranted {
+				denyLoad, failed = dec.Load, true
+				break
+			}
+			if dec.Share < minShare {
+				minShare = dec.Share
+			}
+		} else {
+			p := n.peers[n.topo.Links[g].Owner].Load()
+			if p == nil {
+				n.metrics.ForwardErrors.Inc()
+				failed = true
+				break
+			}
+			wireID := uint64(g)<<idxShift | hopKey
+			t0 := n.nowNanos()
+			granted, share, err := p.mc.ReserveClass(n.ctx, wireID, f.Value, f.Class)
+			n.metrics.HopNS.Record(uint64(n.nowNanos() - t0))
+			n.metrics.Forwards.Inc()
+			n.piggyback(p)
+			if err != nil {
+				n.metrics.ForwardErrors.Inc()
+				n.logf("cluster %s: forward to link %s failed: %v", n.name, n.topo.Links[g].ID, err)
+				failed = true
+				break
+			}
+			if !granted {
+				a, _ := n.view.load(g)
+				denyLoad, failed = float64(a), true
+				break
+			}
+			n.own[g].Add(1)
+			if share < minShare {
+				minShare = share
+			}
+		}
+		claimed++
+	}
+	if failed {
+		n.releaseHops(pathIdx, hopKey, claimed, now)
+		if claimed > 0 {
+			n.metrics.Rollbacks.Inc()
+		}
+		c.mu.Lock()
+		delete(c.flows, f.FlowID)
+		c.put(pf)
+		c.mu.Unlock()
+		n.metrics.PathDenies.Inc()
+		return resv.Frame{Type: resv.MsgDeny, FlowID: f.FlowID, Value: denyLoad}
+	}
+	c.mu.Lock()
+	if c.closed {
+		// The connection dropped while the hops were being claimed; nobody
+		// else will roll this flow back.
+		delete(c.flows, f.FlowID)
+		c.put(pf)
+		c.mu.Unlock()
+		n.releaseHops(pathIdx, hopKey, len(path.Links), now)
+		n.metrics.PathDenies.Inc()
+		return resv.Frame{Type: resv.MsgDeny, FlowID: f.FlowID, Value: 0}
+	}
+	pf.share, pf.deadline, pf.pending = minShare, deadline, false
+	c.mu.Unlock()
+	n.metrics.PathGrants.Inc()
+	return resv.Frame{Type: resv.MsgGrant, FlowID: f.FlowID, Value: minShare}
+}
+
+// releaseHops releases the first upTo links of a path claimed under
+// hopKey: local links through their claim tables, remote links by
+// best-effort teardown (an owner that already expired the claim answers
+// unknown-flow, which is exactly the release-once outcome; an unreachable
+// owner's TTL reaps it). Every remote link in the released prefix was
+// granted, so its own-claim count comes down with it.
+func (n *Node) releaseHops(pathIdx int, hopKey uint64, upTo int, now int64) {
+	path := &n.topo.Paths[pathIdx]
+	for i := upTo - 1; i >= 0; i-- {
+		g := path.Links[i]
+		if ls := n.byGlobal[g]; ls != nil {
+			ls.release(now, hopKey)
+			continue
+		}
+		n.own[g].Add(-1)
+		if p := n.peers[n.topo.Links[g].Owner].Load(); p != nil {
+			_ = p.mc.Teardown(n.ctx, uint64(g)<<idxShift|hopKey)
+		}
+	}
+}
+
+func (n *Node) teardownPath(c *cconn, f resv.Frame, now int64) resv.Frame {
+	c.mu.Lock()
+	pf, ok := c.flows[f.FlowID]
+	if !ok || pf.pending {
+		c.mu.Unlock()
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeUnknownFlow)}
+	}
+	pathIdx, hopKey := int(pf.path), pf.hopKey
+	delete(c.flows, f.FlowID)
+	c.put(pf)
+	c.mu.Unlock()
+	n.releaseHops(pathIdx, hopKey, len(n.topo.Paths[pathIdx].Links), now)
+	n.metrics.PathTeardowns.Inc()
+	return resv.Frame{Type: resv.MsgTeardownOK, FlowID: f.FlowID, Value: float64(n.activeSum())}
+}
+
+func (n *Node) refreshPath(c *cconn, f resv.Frame, now int64) resv.Frame {
+	c.mu.Lock()
+	pf, ok := c.flows[f.FlowID]
+	if !ok || pf.pending {
+		c.mu.Unlock()
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeUnknownFlow)}
+	}
+	var deadline int64
+	if n.ttl > 0 {
+		deadline = now + int64(n.ttl)
+	}
+	pf.deadline = deadline
+	pathIdx, hopKey := int(pf.path), pf.hopKey
+	c.mu.Unlock()
+	path := &n.topo.Paths[pathIdx]
+	for _, g := range path.Links {
+		if ls := n.byGlobal[g]; ls != nil {
+			ls.refresh(hopKey, deadline)
+		} else if p := n.peers[n.topo.Links[g].Owner].Load(); p != nil {
+			_, _ = p.mc.Refresh(n.ctx, uint64(g)<<idxShift|hopKey)
+		}
+	}
+	return resv.Frame{Type: resv.MsgRefreshOK, FlowID: f.FlowID, Value: n.ttl.Seconds()}
+}
+
+func (n *Node) statsReply(f resv.Frame) resv.Frame {
+	reply, err := resv.StatsReplyFrame(n.kmaxSum, n.activeSum())
+	if err != nil {
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+	}
+	return reply
+}
+
+// ---- peer-plane dispatch ----
+
+func (n *Node) dispatchPeer(sess *peerSess, f resv.Frame, now int64) resv.Frame {
+	switch f.Type {
+	case resv.MsgRequest:
+		ls := n.localLink(f.FlowID)
+		if ls == nil || !(f.Value >= 0) || math.IsInf(f.Value, 0) {
+			n.metrics.Errors.Inc()
+			return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+		}
+		var deadline int64
+		if n.ttl > 0 {
+			deadline = now + int64(n.ttl)
+		}
+		dec, st := ls.admit(now, f.FlowID&keyMask, f.Value, f.Class, sess, deadline)
+		switch st {
+		case admitGranted:
+			return resv.Frame{Type: resv.MsgGrant, FlowID: f.FlowID, Value: dec.Share}
+		case admitDuplicate:
+			n.metrics.Errors.Inc()
+			return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeDuplicateFlow)}
+		default:
+			return resv.Frame{Type: resv.MsgDeny, FlowID: f.FlowID, Value: dec.Load}
+		}
+	case resv.MsgTeardown:
+		ls := n.localLink(f.FlowID)
+		if ls == nil {
+			n.metrics.Errors.Inc()
+			return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+		}
+		if !ls.release(now, f.FlowID&keyMask) {
+			return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeUnknownFlow)}
+		}
+		return resv.Frame{Type: resv.MsgTeardownOK, FlowID: f.FlowID, Value: float64(ls.pol.Active())}
+	case resv.MsgRefresh:
+		ls := n.localLink(f.FlowID)
+		if ls == nil {
+			n.metrics.Errors.Inc()
+			return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+		}
+		var deadline int64
+		if n.ttl > 0 {
+			deadline = now + int64(n.ttl)
+		}
+		if !ls.refresh(f.FlowID&keyMask, deadline) {
+			return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeUnknownFlow)}
+		}
+		return resv.Frame{Type: resv.MsgRefreshOK, FlowID: f.FlowID, Value: n.ttl.Seconds()}
+	case resv.MsgStats:
+		return n.statsReply(f)
+	case resv.MsgGossip:
+		n.applyGossip(f, now)
+		return resv.Frame{}
+	default:
+		n.metrics.Errors.Inc()
+		return resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+	}
+}
+
+// localLink resolves a peer-plane FlowID's link index to local state, nil
+// when out of range or owned elsewhere.
+func (n *Node) localLink(flowID uint64) *linkState {
+	g := int(flowID >> idxShift)
+	if g >= len(n.byGlobal) {
+		return nil
+	}
+	return n.byGlobal[g]
+}
+
+// ---- in-process client handle ----
+
+// Local is an in-process client-plane handle: the same dispatch the wire
+// serves, minus the wire. It is the zero-copy path for co-located load
+// generators and the benchmark's view of the local-admit hot path. A
+// Local's flows are scoped to it like a connection's: Close rolls them
+// back. Safe for concurrent use.
+type Local struct {
+	n *Node
+	c *cconn
+}
+
+// NewLocal opens an in-process client handle on the node.
+func (n *Node) NewLocal() *Local {
+	c := newCConn()
+	n.cmu.Lock()
+	n.cconns[c] = struct{}{}
+	n.cmu.Unlock()
+	return &Local{n: n, c: c}
+}
+
+// Reserve requests a path reservation for (pair, seq). It reports whether
+// the path was granted and the granted worst-case share.
+func (l *Local) Reserve(pair int, seq uint64, bandwidth float64) (granted bool, share float64, err error) {
+	f := resv.Frame{Type: resv.MsgRequest, FlowID: FlowID(pair, seq), Value: bandwidth}
+	r := l.n.dispatchClient(l.c, f, l.n.nowNanos())
+	switch r.Type {
+	case resv.MsgGrant:
+		return true, r.Value, nil
+	case resv.MsgDeny:
+		return false, 0, nil
+	default:
+		return false, 0, fmt.Errorf("cluster: reserve pair %d seq %d: error code %d", pair, seq, uint64(r.Value))
+	}
+}
+
+// Teardown releases (pair, seq)'s path reservation.
+func (l *Local) Teardown(pair int, seq uint64) error {
+	f := resv.Frame{Type: resv.MsgTeardown, FlowID: FlowID(pair, seq)}
+	r := l.n.dispatchClient(l.c, f, l.n.nowNanos())
+	if r.Type != resv.MsgTeardownOK {
+		return fmt.Errorf("cluster: teardown pair %d seq %d: error code %d", pair, seq, uint64(r.Value))
+	}
+	return nil
+}
+
+// Refresh renews (pair, seq)'s soft state end to end.
+func (l *Local) Refresh(pair int, seq uint64) error {
+	f := resv.Frame{Type: resv.MsgRefresh, FlowID: FlowID(pair, seq)}
+	r := l.n.dispatchClient(l.c, f, l.n.nowNanos())
+	if r.Type != resv.MsgRefreshOK {
+		return fmt.Errorf("cluster: refresh pair %d seq %d: error code %d", pair, seq, uint64(r.Value))
+	}
+	return nil
+}
+
+// Stats returns the cluster-wide admission threshold (Σ link bounds) and
+// the active claim total as this node sees it.
+func (l *Local) Stats() (kmax, active int64, err error) {
+	r := l.n.dispatchClient(l.c, resv.Frame{Type: resv.MsgStats}, l.n.nowNanos())
+	return resv.ParseStatsReply(r)
+}
+
+// Close rolls back every flow reserved through the handle.
+func (l *Local) Close() {
+	l.n.cmu.Lock()
+	delete(l.n.cconns, l.c)
+	l.n.cmu.Unlock()
+	l.n.rollbackConn(l.c)
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyRoundTrip(t *testing.T) {
+	topo, err := ParseTopology(Ring(4, 32, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 4 || len(topo.Links) != 4 || len(topo.Paths) != 4 || len(topo.Pairs) != 4 {
+		t.Fatalf("ring(4) parsed to %d nodes, %d links, %d paths, %d pairs",
+			len(topo.Nodes), len(topo.Links), len(topo.Paths), len(topo.Pairs))
+	}
+	for i, l := range topo.Links {
+		if l.Owner != i || l.Capacity != 32 || l.Index != i {
+			t.Errorf("link %d = %+v, want owner/index %d capacity 32", i, l, i)
+		}
+	}
+	for i, p := range topo.Pairs {
+		if len(p.Paths) != 2 {
+			t.Fatalf("pair %d has %d candidate paths, want 2", i, len(p.Paths))
+		}
+		if got := topo.Paths[p.Paths[0]].Links[0]; got != i {
+			t.Errorf("pair %d primary path over link %d, want %d", i, got, i)
+		}
+		if got := topo.Paths[p.Paths[1]].Links[0]; got != (i+1)%4 {
+			t.Errorf("pair %d alternate path over link %d, want %d", i, got, (i+1)%4)
+		}
+	}
+	if topo.NodeIndex("n2") != 2 || topo.NodeIndex("zz") != -1 {
+		t.Error("NodeIndex lookup broken")
+	}
+	if topo.LinkIndex("l3") != 3 || topo.LinkIndex("zz") != -1 {
+		t.Error("LinkIndex lookup broken")
+	}
+}
+
+func TestParseTopologyCommentsAndBlanks(t *testing.T) {
+	spec := `
+# a comment
+node a   # trailing comment
+
+link ab a 10
+path p ab
+pair x a a p
+`
+	topo, err := ParseTopology(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 1 || len(topo.Links) != 1 {
+		t.Fatalf("parsed %d nodes, %d links", len(topo.Nodes), len(topo.Links))
+	}
+}
+
+// TestParseTopologyErrors is the fail-fast contract: every malformed spec
+// must come back as an error naming the offending line and construct, not
+// a panic mid-run.
+func TestParseTopologyErrors(t *testing.T) {
+	base := "node a\nnode b\nlink ab a 10\nlink ba b 10\npath p ab\n"
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"empty", "", "no nodes"},
+		{"no pairs", base, "no pairs"},
+		{"unknown directive", "nodule a\n", `unknown directive "nodule"`},
+		{"node arity", "node\n", "node directive wants"},
+		{"duplicate node", "node a\nnode a\n", `duplicate node "a"`},
+		{"link arity", "node a\nlink ab a\n", "link directive wants"},
+		{"duplicate link", base + "link ab a 5\n", `duplicate link "ab"`},
+		{"link unknown owner", "node a\nlink xy zz 10\n", `unknown node "zz"`},
+		{"link bad capacity", "node a\nlink ab a ten\n", "bad capacity"},
+		{"link zero capacity", "node a\nlink ab a 0\n", "capacity must be positive"},
+		{"link negative capacity", "node a\nlink ab a -3\n", "capacity must be positive"},
+		{"link inf capacity", "node a\nlink ab a +Inf\n", "capacity must be positive and finite"},
+		{"path arity", base + "path q\n", "path directive wants"},
+		{"duplicate path", base + "path p ba\n", `duplicate path "p"`},
+		{"path missing link", base + "path q nolink\n", `unknown link "nolink"`},
+		{"path empty link ref", base + "path q ab,\n", "empty link reference"},
+		{"path repeated link", base + "path q ab,ab\n", `traverses link "ab" twice`},
+		{"pair arity", base + "pair x a b\n", "pair directive wants"},
+		{"pair unknown src", base + "pair x zz b p\n", `unknown src node "zz"`},
+		{"pair unknown dst", base + "pair x a zz p\n", `unknown dst node "zz"`},
+		{"pair unknown path", base + "pair x a b nopath\n", `unknown path "nopath"`},
+		{"pair empty path ref", base + "pair x a b p,\n", "empty path reference"},
+		{"pair repeated path", base + "pair x a b p,p\n", `references path "p" twice`},
+		{"duplicate pair", base + "pair x a b p\npair x b a p\n", `duplicate pair "x"`},
+		{"forward link owner", "link ab a 10\nnode a\n", `unknown node "a"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTopology(tc.spec)
+			if err == nil {
+				t.Fatalf("spec %q parsed, want error containing %q", tc.spec, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseTopologyPathTooLong(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("node a\n")
+	links := make([]string, 0, MaxPathLinks+1)
+	for i := 0; i <= MaxPathLinks; i++ {
+		id := "l" + strings.Repeat("x", 1) + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		b.WriteString("link " + id + " a 10\n")
+		links = append(links, id)
+	}
+	b.WriteString("path long " + strings.Join(links, ",") + "\n")
+	_, err := ParseTopology(b.String())
+	if err == nil || !strings.Contains(err.Error(), "max 16") {
+		t.Fatalf("overlong path: err = %v, want hop-count error", err)
+	}
+}
+
+func TestFlowIDPacking(t *testing.T) {
+	if got := FlowID(0, 7); got != 7 {
+		t.Errorf("FlowID(0, 7) = %d, want 7 (pair 0 must be the identity)", got)
+	}
+	if got := FlowID(3, 7); got != 3<<48|7 {
+		t.Errorf("FlowID(3, 7) = %#x", got)
+	}
+	// Sequence bits beyond 48 must not bleed into the pair index.
+	if got := FlowID(1, 1<<60|5); got != 1<<48|5 {
+		t.Errorf("FlowID(1, 1<<60|5) = %#x", got)
+	}
+}

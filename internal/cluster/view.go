@@ -1,0 +1,52 @@
+package cluster
+
+import "sync/atomic"
+
+// view is a node's eventually-consistent picture of every remote link's
+// occupancy, fed by gossip (MsgGossip frames piggybacked on forwarded
+// traffic plus the periodic anti-entropy tick). Snapshots are versioned by
+// a counter the owning node alone increments, so application is monotone:
+// a frame that arrives out of order (an anti-entropy burst overtaking a
+// piggyback on another connection) can never roll occupancy backwards.
+//
+// Each link's cell has a single writer — gossip for link g only arrives on
+// the one inbound connection from g's owner — so the three fields need no
+// joint atomicity: the version gate alone keeps updates monotone, and the
+// router reading active/updated mid-store sees either the old or the new
+// snapshot, both of which were true recently.
+type view struct {
+	cells []viewCell
+}
+
+type viewCell struct {
+	active  atomic.Int64
+	version atomic.Uint64
+	// updated is the local receive time (nanoseconds on the viewing node's
+	// monotonic clock); 0 means no snapshot has ever arrived. The router
+	// compares it against the staleness bound before trusting active.
+	updated atomic.Int64
+}
+
+func newView(nlinks int) *view {
+	return &view{cells: make([]viewCell, nlinks)}
+}
+
+// apply installs a snapshot if its version advances the cell. It reports
+// whether the snapshot was fresh.
+func (v *view) apply(link int, version uint64, active int64, now int64) bool {
+	c := &v.cells[link]
+	if version <= c.version.Load() {
+		return false
+	}
+	c.active.Store(active)
+	c.version.Store(version)
+	c.updated.Store(now)
+	return true
+}
+
+// load returns the link's last gossiped active count and when it arrived
+// (0 = never).
+func (v *view) load(link int) (active int64, updated int64) {
+	c := &v.cells[link]
+	return c.active.Load(), c.updated.Load()
+}

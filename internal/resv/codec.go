@@ -53,6 +53,13 @@ const (
 	MsgRefreshOK
 	// MsgError reports a protocol-level failure; Value is an ErrorCode.
 	MsgError
+	// MsgGossip carries one per-link occupancy snapshot of the cluster
+	// plane (internal/cluster): FlowID packs the link's global index in its
+	// top 16 bits and a monotone per-owner version in the low 48, Value is
+	// the link's active reservation count. Gossip is one-way — a receiver
+	// never replies — so it can piggyback on any stream the sender already
+	// writes (MuxClient.Post) without disturbing request/reply matching.
+	MsgGossip
 )
 
 // String implements fmt.Stringer.
@@ -78,6 +85,8 @@ func (t MsgType) String() string {
 		return "REFRESH-OK"
 	case MsgError:
 		return "ERROR"
+	case MsgGossip:
+		return "GOSSIP"
 	default:
 		return fmt.Sprintf("MSG(%d)", uint8(t))
 	}
@@ -163,7 +172,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, b[2], protocolVersion)
 	}
 	t := MsgType(b[3] & typeMask)
-	if t < MsgRequest || t > MsgError {
+	if t < MsgRequest || t > MsgGossip {
 		return Frame{}, fmt.Errorf("%w: unknown type %d", ErrBadFrame, b[3]&typeMask)
 	}
 	return Frame{

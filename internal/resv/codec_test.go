@@ -53,9 +53,22 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
 		t.Error("type 0 should fail")
 	}
-	bad[3] = uint8(MsgError) + 1
+	bad[3] = uint8(MsgGossip) + 1
 	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
 		t.Error("type beyond range should fail")
+	}
+}
+
+func TestGossipFrameRoundTrip(t *testing.T) {
+	// A gossip frame packs linkIdx<<48 | version in FlowID and the active
+	// count in Value; it must survive the wire like any other frame.
+	want := Frame{Type: MsgGossip, FlowID: 7<<48 | 123456, Value: 42}
+	got, err := DecodeFrame(AppendFrame(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
 	}
 }
 
@@ -78,7 +91,7 @@ func TestWriteReadFrame(t *testing.T) {
 }
 
 func TestMsgTypeStrings(t *testing.T) {
-	for typ := MsgRequest; typ <= MsgError; typ++ {
+	for typ := MsgRequest; typ <= MsgGossip; typ++ {
 		if typ.String() == "" {
 			t.Errorf("empty name for %d", typ)
 		}

@@ -276,6 +276,29 @@ func (m *MuxClient) roundTrip(ctx context.Context, req Frame) (Frame, error) {
 	}
 }
 
+// Post queues a frame for the next vectored write without registering a
+// reply rendezvous — fire-and-forget, for one-way frames (MsgGossip) that
+// the peer never answers. The frame coalesces into whatever request batch
+// the writer flushes next, so piggybacked gossip costs its 20 bytes and no
+// extra syscall. Post never blocks on a full send queue: a queue the writer
+// is not draining means the connection is stalled or dead, and gossip is
+// refreshed continuously — dropping one snapshot is always safe.
+func (m *MuxClient) Post(f Frame) error {
+	select {
+	case <-m.dead:
+		m.mu.Lock()
+		err := m.err
+		m.mu.Unlock()
+		return fmt.Errorf("resv: mux: client closed: %w", err)
+	default:
+	}
+	select {
+	case m.sendq <- f:
+	default: // queue full: drop, the next snapshot supersedes this one
+	}
+	return nil
+}
+
 // finish consumes a delivered call: record metrics, recycle, return.
 func (m *MuxClient) finish(req Frame, call *muxCall, t0 time.Time) (Frame, error) {
 	reply, err := call.reply, call.err

@@ -282,3 +282,34 @@ func TestMuxCanceledCallDoesNotPoisonFlow(t *testing.T) {
 		t.Fatalf("active = %d, want 1", a)
 	}
 }
+
+// TestMuxPost posts one-way frames between request/reply traffic: the
+// posted frames must not disturb FlowID/FIFO reply matching, and the
+// server's reply to a frame type it does not serve (gossip) must be
+// dropped by the reader rather than delivered to any waiter.
+func TestMuxPost(t *testing.T) {
+	s := newServer(t, 4)
+	defer s.Close()
+	m := pipeMux(t, s)
+	c := ctx(t)
+	for i := 0; i < 8; i++ {
+		if err := m.Post(Frame{Type: MsgGossip, FlowID: uint64(i) << 48, Value: float64(i)}); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+		ok, _, err := m.Reserve(c, uint64(i+1), 1)
+		if err != nil || !ok {
+			t.Fatalf("reserve %d interleaved with posts: ok=%v err=%v", i+1, ok, err)
+		}
+		if err := m.Teardown(c, uint64(i+1)); err != nil {
+			t.Fatalf("teardown %d: %v", i+1, err)
+		}
+		kmax, active, err := m.Stats(c)
+		if err != nil || kmax != 4 || active != 0 {
+			t.Fatalf("stats after post: kmax=%d active=%d err=%v", kmax, active, err)
+		}
+	}
+	_ = m.Close()
+	if err := m.Post(Frame{Type: MsgGossip}); err == nil {
+		t.Fatal("post on a closed client should fail")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package beqos_test
+
+// raceEnabled reports that this binary was built with -race; measurement
+// tests that depend on native execution speed skip themselves.
+const raceEnabled = true
