@@ -20,8 +20,10 @@ BENCH_GATE = BenchmarkS1SimulatedLoad|BenchmarkS2HeavyTailLoad|BenchmarkX4Schedu
 # "still fundamentally works at scale" bar, far below normal but well above
 # any accidental serialization of the mux or shard paths. The cluster
 # aggregate churn measured ~5.4M req/s on the CI-class container; 400k is
-# the same order-of-magnitude safety bar.
-BENCH_FLOOR = BenchmarkServerHighConcurrency=req/s:20000,BenchmarkServerHighConcurrency=flows:100000,BenchmarkClusterThroughput/n4=req/s:400000
+# the same order-of-magnitude safety bar. The batched forwarded-hop path
+# measured ~2.1M req/s (vs ~190k single-frame); 600k is the "batching still
+# pays for itself" bar — roughly 3× the single-frame rate.
+BENCH_FLOOR = BenchmarkServerHighConcurrency=req/s:20000,BenchmarkServerHighConcurrency=flows:100000,BenchmarkClusterThroughput/n4=req/s:400000,BenchmarkClusterForwardBatched=req/s:600000
 
 # Packages with concurrency worth racing: the single source of truth for
 # both `make race` and CI (which calls `make race`), so the two can never

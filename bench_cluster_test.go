@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"beqos/internal/cluster"
+	"beqos/internal/resv"
 )
 
 // benchClusterStart assembles and starts an in-process cluster over spec.
@@ -168,6 +169,47 @@ func BenchmarkClusterForward(b *testing.B) {
 	}
 	b.StopTimer()
 	reportReqRate(b)
+}
+
+// BenchmarkClusterForwardBatched is the batched counterpart of
+// BenchmarkClusterForward: the same all-remote topology, but each op moves
+// a full resv.MaxBatch of flows through one batched dispatch — the hop
+// claims coalesce into multi-reserve frames on the peer transport, so 64
+// flows pay a handful of RPC round trips instead of 64. One op is
+// 64 reserves + 64 teardowns (128 requests); `make bench-diff` holds the
+// req/s metric to an absolute floor ≥3x the single-flow forward path.
+// Must stay at 0 allocs/op on the entry side.
+func BenchmarkClusterForwardBatched(b *testing.B) {
+	cl := benchClusterStart(b, "node entry\nnode owner\nlink l owner 1048576\npath p l\npair x entry owner p\n")
+	l := cl.Node(0).NewLocal()
+	seqs := make([]uint64, resv.MaxBatch)
+	for i := range seqs {
+		seqs[i] = uint64(i + 1)
+	}
+	for i := 0; i < 4; i++ {
+		v, _, err := l.ReserveBatch(0, seqs, 1)
+		if err != nil || v.Count() != len(seqs) {
+			b.Fatalf("warmup batch reserve: granted %d/%d err=%v", v.Count(), len(seqs), err)
+		}
+		tv, err := l.TeardownBatch(0, seqs)
+		if err != nil || tv.Count() != len(seqs) {
+			b.Fatalf("warmup batch teardown: ok %d/%d err=%v", tv.Count(), len(seqs), err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, err := l.ReserveBatch(0, seqs, 1)
+		if err != nil || v.Count() != len(seqs) {
+			b.Fatalf("batch reserve: granted %d/%d err=%v", v.Count(), len(seqs), err)
+		}
+		tv, err := l.TeardownBatch(0, seqs)
+		if err != nil || tv.Count() != len(seqs) {
+			b.Fatalf("batch teardown: ok %d/%d err=%v", tv.Count(), len(seqs), err)
+		}
+	}
+	b.StopTimer()
+	reportReqRateN(b, 2*len(seqs))
 }
 
 // TestClusterAggregateScaling is the scale-out acceptance check: with four

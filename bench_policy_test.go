@@ -52,3 +52,54 @@ func BenchmarkPolicyAdmit(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkPolicyAdmitN measures the vectored admission path — one
+// AdmitBatch(64)→ReleaseBatch(64) cycle per op. Counting, bandwidth, and
+// tiered take their native AdmitN fast path (one CAS for the whole run);
+// token-bucket and measured fall back to the conformance-tested serial
+// loop. The req-rate comparison against BenchmarkPolicyAdmit is the
+// per-decision amortization batching buys below the wire.
+func BenchmarkPolicyAdmitN(b *testing.B) {
+	const capacity = 128.0
+	const kmax = 128
+	const batch = 64
+	mk := func(f func() (policy.Policy, error)) policy.Policy {
+		p, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name string
+		pol  policy.Policy
+		rate float64
+	}{
+		{"counting", mk(func() (policy.Policy, error) { return policy.NewCounting(capacity, kmax) }), 0},
+		{"bandwidth", mk(func() (policy.Policy, error) { return policy.NewBandwidth(capacity) }), 1},
+		{"token-bucket", mk(func() (policy.Policy, error) {
+			inner, err := policy.NewCounting(capacity, kmax)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewTokenBucket(inner, 1e9, 1<<20)
+		}), 0},
+		{"tiered", mk(func() (policy.Policy, error) { return policy.NewTiered(capacity, kmax, 96, 64) }), 0},
+		{"measured", mk(func() (policy.Policy, error) { return policy.NewMeasured(capacity, kmax, kmax+2, 1) }), 0},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			now := int64(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now += 1000
+				granted, _ := policy.AdmitBatch(tc.pol, now, uint64(i), tc.rate, policy.ClassStandard, batch)
+				if granted != batch {
+					b.Fatalf("granted %d/%d with %d slots free", granted, batch, kmax)
+				}
+				policy.ReleaseBatch(tc.pol, now, tc.rate, batch)
+			}
+		})
+	}
+}

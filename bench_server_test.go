@@ -215,8 +215,14 @@ func benchPipelinedClients(b *testing.B, transport string, clients, depth int) {
 
 // reportReqRate adds a requests-per-second metric (2 RPCs per op).
 func reportReqRate(b *testing.B) {
+	reportReqRateN(b, 2)
+}
+
+// reportReqRateN adds a requests-per-second metric for benchmarks whose op
+// carries perOp requests (batched ops move more than one reserve+teardown).
+func reportReqRateN(b *testing.B, perOp int) {
 	if b.Elapsed() > 0 {
-		b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "req/s")
+		b.ReportMetric(float64(perOp*b.N)/b.Elapsed().Seconds(), "req/s")
 	}
 }
 

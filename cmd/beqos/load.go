@@ -34,6 +34,7 @@ func cmdLoad(args []string) error {
 	retries := fs.Int("retries", 0, "extra attempts per denied arrival via the retry path")
 	probeTTL := fs.Duration("probe-ttl", 0, "also probe soft state against a TTL server (0 = skip)")
 	transport := fs.String("transport", "classic", "protocol transport: classic (one stream per endpoint), mux (flow-multiplexed streams), udp (datagram mode with retransmission)")
+	batch := fs.Int("batch", 0, "coalesce simultaneous protocol ops into multi-reserve bodies of up to n ops (stream transports; 0/1 = single-frame)")
 	udpLoss := fs.Int("udp-loss", 0, "drop every n-th datagram in each direction (udp transport; 0 = lossless)")
 	udpTimeout := fs.Duration("udp-timeout", 0, "datagram retransmit flight timeout (0 = 25ms)")
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +71,7 @@ func cmdLoad(args []string) error {
 		Transport:    *transport,
 		UDPLossEvery: *udpLoss,
 		UDPTimeout:   *udpTimeout,
+		Batch:        *batch,
 	}
 	if *retries > 0 {
 		cfg.RetryAttempts = *retries + 1
@@ -94,6 +96,9 @@ func cmdLoad(args []string) error {
 	}
 	fmt.Printf("flows %d  attempts %d  denied %d  grants %d  teardowns %d  retries %d  drops %d  reissued %d  peak load %d\n",
 		res.Flows, res.Attempts, res.Denied, res.Grants, res.Teardowns, res.Retries, res.Drops, res.Reissued, res.PeakLoad)
+	if *batch >= 2 {
+		fmt.Printf("batched bodies %d carrying %d ops (batch limit %d)\n", res.Batches, res.BatchedOps, *batch)
+	}
 	if cfg.Transport == "udp" {
 		timeout := cfg.UDPTimeout
 		if timeout == 0 {

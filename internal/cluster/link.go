@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"beqos/internal/policy"
+	"beqos/internal/resv"
 )
 
 // linkState is one locally-owned link: the admission policy that bounds it
@@ -101,6 +102,46 @@ func (ls *linkState) admit(now int64, key uint64, rate float64, class uint8, own
 	return dec, admitGranted
 }
 
+// admitN claims one run of batched hops on the link — identical rate and
+// class, distinct hop keys — with a single vectored policy claim and one
+// claim-table pass. The policy grants a prefix (exact at the kmax
+// boundary); installed ops get their bit set in verdict at base+i. A
+// duplicate hop key inside the granted prefix returns its single policy
+// claim and keeps its bit clear, exactly like the unbatched duplicate
+// path.
+func (ls *linkState) admitN(now int64, frames []resv.Frame, owner *peerSess, deadline int64, base int, verdict *resv.BatchVerdict) (installed int, dec policy.Decision) {
+	rate, class := frames[0].Value, frames[0].Class
+	pnow := ls.polNow(now)
+	granted, dec := policy.AdmitBatch(ls.pol, pnow, frames[0].FlowID&keyMask, rate, class, len(frames))
+	if granted == 0 {
+		return 0, dec
+	}
+	ls.mu.Lock()
+	for i := 0; i < granted; i++ {
+		key := frames[i].FlowID & keyMask
+		if _, dup := ls.claims[key]; dup {
+			ls.pol.Release(pnow, rate)
+			continue
+		}
+		c := ls.free
+		if c != nil {
+			ls.free = c.next
+			c.next = nil
+		} else {
+			c = new(claim)
+		}
+		c.key, c.owner, c.rate, c.deadline = key, owner, rate, deadline
+		ls.claims[key] = c
+		if owner != nil {
+			owner.track(uint64(ls.link.Index)<<idxShift | key)
+		}
+		*verdict |= 1 << uint(base+i)
+		installed++
+	}
+	ls.mu.Unlock()
+	return installed, dec
+}
+
 // release returns the hop's claim to the policy. It reports false when no
 // claim holds the key — already released, expired, or never admitted — so
 // every racing release path (teardown, rollback, connection drop, TTL)
@@ -171,10 +212,18 @@ func (ls *linkState) expire(now int64) int {
 type peerSess struct {
 	mu     sync.Mutex
 	claims map[uint64]struct{}
+	// lastGossip is the last active count piggybacked on a batch reply to
+	// this connection, per local link (indexed like Node.links, -1 = never
+	// sent). Only the serving goroutine touches it, so no lock.
+	lastGossip []int64
 }
 
-func newPeerSess() *peerSess {
-	return &peerSess{claims: make(map[uint64]struct{})}
+func newPeerSess(nlinks int) *peerSess {
+	s := &peerSess{claims: make(map[uint64]struct{}), lastGossip: make([]int64, nlinks)}
+	for i := range s.lastGossip {
+		s.lastGossip[i] = -1
+	}
+	return s
 }
 
 func (p *peerSess) track(wireID uint64) {

@@ -34,6 +34,7 @@ type Node struct {
 	ttl        time.Duration
 	staleNanos int64
 	routerMode RouterMode
+	hopDelay   time.Duration
 	epoch      time.Time
 
 	// links are the locally-owned links; byGlobal maps a global link index
@@ -84,11 +85,13 @@ type Node struct {
 }
 
 // peer is the outbound state toward one other node: the mux transport hops
-// ride, and the piggyback dedup — the last active count gossiped per local
-// link, so forwarding traffic re-advertises a link only when its occupancy
-// actually moved.
+// ride, the coalescer that batches them into multi-reserve frames, and the
+// piggyback dedup — the last active count gossiped per local link, so
+// forwarding traffic re-advertises a link only when its occupancy actually
+// moved.
 type peer struct {
 	mc       *resv.MuxClient
+	co       *coalescer
 	lastSent []atomic.Int64
 }
 
@@ -145,38 +148,42 @@ type nodeMetrics struct {
 	ForwardErrors *obs.Counter
 	GossipIn      *obs.Counter
 	GossipOut     *obs.Counter
-	Expiries      *obs.Counter
-	RouteFallback *obs.Counter
-	RouteAlt      *obs.Counter
-	Errors        *obs.Counter
-	HopNS         *obs.Histogram
-	RequestNS     *obs.Histogram
+	// GossipSuppressed counts anti-entropy snapshots skipped because the
+	// peer already holds the link's current occupancy — delta suppression.
+	GossipSuppressed *obs.Counter
+	Expiries         *obs.Counter
+	RouteFallback    *obs.Counter
+	RouteAlt         *obs.Counter
+	Errors           *obs.Counter
+	HopNS            *obs.Histogram
+	RequestNS        *obs.Histogram
 }
 
 func newNodeMetrics(reg *obs.Registry) *nodeMetrics {
 	return &nodeMetrics{
-		PathRequests:  reg.Counter("cluster_path_requests_total", "path reservation requests handled at this entry node"),
-		PathGrants:    reg.Counter("cluster_path_grants_total", "path reservations granted end to end"),
-		PathDenies:    reg.Counter("cluster_path_denies_total", "path reservations denied by some link"),
-		PathTeardowns: reg.Counter("cluster_path_teardowns_total", "path reservations torn down by their client"),
-		Rollbacks:     reg.Counter("cluster_rollbacks_total", "denied paths whose upstream claims were rolled back"),
-		Forwards:      reg.Counter("cluster_forwards_total", "link hops forwarded to peer nodes"),
-		ForwardErrors: reg.Counter("cluster_forward_errors_total", "forwarded hops failed by transport errors (unreachable peers)"),
-		GossipIn:      reg.Counter("cluster_gossip_in_total", "occupancy snapshots received"),
-		GossipOut:     reg.Counter("cluster_gossip_out_total", "occupancy snapshots sent (piggybacked + anti-entropy)"),
-		Expiries:      reg.Counter("cluster_expiries_total", "claims and path flows expired by the TTL backstop"),
-		RouteFallback: reg.Counter("cluster_route_fallback_total", "two-choice placements degraded to consistent hash on stale load signals"),
-		RouteAlt:      reg.Counter("cluster_route_alternate_total", "two-choice placements that picked the less-loaded alternate over the hash anchor"),
-		Errors:        reg.Counter("cluster_errors_total", "protocol errors answered"),
-		HopNS:         reg.Histogram("cluster_hop_ns", "per-hop forward round-trip latency, nanoseconds"),
-		RequestNS:     reg.Histogram("cluster_request_ns", "per-request service latency, nanoseconds (batch-amortized)"),
+		PathRequests:     reg.Counter("cluster_path_requests_total", "path reservation requests handled at this entry node"),
+		PathGrants:       reg.Counter("cluster_path_grants_total", "path reservations granted end to end"),
+		PathDenies:       reg.Counter("cluster_path_denies_total", "path reservations denied by some link"),
+		PathTeardowns:    reg.Counter("cluster_path_teardowns_total", "path reservations torn down by their client"),
+		Rollbacks:        reg.Counter("cluster_rollbacks_total", "denied paths whose upstream claims were rolled back"),
+		Forwards:         reg.Counter("cluster_forwards_total", "link hops forwarded to peer nodes"),
+		ForwardErrors:    reg.Counter("cluster_forward_errors_total", "forwarded hops failed by transport errors (unreachable peers)"),
+		GossipIn:         reg.Counter("cluster_gossip_in_total", "occupancy snapshots received"),
+		GossipOut:        reg.Counter("cluster_gossip_out_total", "occupancy snapshots sent (piggybacked + anti-entropy)"),
+		GossipSuppressed: reg.Counter("cluster_gossip_suppressed_total", "anti-entropy snapshots suppressed (peer already current)"),
+		Expiries:         reg.Counter("cluster_expiries_total", "claims and path flows expired by the TTL backstop"),
+		RouteFallback:    reg.Counter("cluster_route_fallback_total", "two-choice placements degraded to consistent hash on stale load signals"),
+		RouteAlt:         reg.Counter("cluster_route_alternate_total", "two-choice placements that picked the less-loaded alternate over the hash anchor"),
+		Errors:           reg.Counter("cluster_errors_total", "protocol errors answered"),
+		HopNS:            reg.Histogram("cluster_hop_ns", "per-hop forward round-trip latency, nanoseconds"),
+		RequestNS:        reg.Histogram("cluster_request_ns", "per-request service latency, nanoseconds (batch-amortized)"),
 	}
 }
 
 // newNode builds a node over the shared topology. bounds must hold every
 // link's admission bound (the cluster computes them once from the utility
 // function).
-func newNode(idx int, topo *Topology, bounds []int, ttl time.Duration, router RouterMode, stale time.Duration) (*Node, error) {
+func newNode(idx int, topo *Topology, bounds []int, ttl time.Duration, router RouterMode, stale, hopDelay time.Duration) (*Node, error) {
 	n := &Node{
 		idx:        idx,
 		name:       topo.Nodes[idx],
@@ -184,6 +191,7 @@ func newNode(idx int, topo *Topology, bounds []int, ttl time.Duration, router Ro
 		ttl:        ttl,
 		staleNanos: int64(stale),
 		routerMode: router,
+		hopDelay:   hopDelay,
 		epoch:      time.Now(),
 		byGlobal:   make([]*linkState, len(topo.Links)),
 		bounds:     bounds,
@@ -281,6 +289,12 @@ func (n *Node) connectPeer(j int, nc net.Conn) {
 	for i := range p.lastSent {
 		p.lastSent[i].Store(-1)
 	}
+	// Occupancy snapshots piggybacked on the owner's batch replies arrive
+	// outside any request/reply pairing; route them into the gossip view.
+	p.mc.OnGossip(func(f resv.Frame) { n.applyGossip(f, n.nowNanos()) })
+	p.co = newCoalescer(n, p.mc, n.hopDelay)
+	n.wg.Add(1)
+	go p.co.run(n.stop)
 	n.peers[j].Store(p)
 }
 
@@ -336,12 +350,18 @@ func (n *Node) antiEntropyLoop(interval time.Duration) {
 	}
 }
 
-// gossipAll advertises every local link to one peer unconditionally — the
-// anti-entropy tick, which also catches peers that joined after the last
-// occupancy change.
+// gossipAll advertises local links to one peer — the anti-entropy tick. A
+// link whose occupancy the peer already holds is suppressed (and counted):
+// a quiet cluster's anti-entropy traffic collapses to zero frames while a
+// freshly-joined peer, whose lastSent slots are all -1, still gets the
+// full snapshot.
 func (n *Node) gossipAll(p *peer) {
 	for li, ls := range n.links {
 		a := ls.pol.Active()
+		if p.lastSent[li].Load() == a {
+			n.metrics.GossipSuppressed.Inc()
+			continue
+		}
 		if n.postGossip(p, ls, a) {
 			p.lastSent[li].Store(a)
 		}
@@ -365,12 +385,14 @@ func (n *Node) piggyback(p *peer) {
 
 func (n *Node) postGossip(p *peer, ls *linkState, active int64) bool {
 	v := n.gossipSeq.Add(1)
-	err := p.mc.Post(resv.Frame{
+	queued, err := p.mc.Post(resv.Frame{
 		Type:   resv.MsgGossip,
 		FlowID: uint64(ls.link.Index)<<idxShift | v&keyMask,
 		Value:  float64(active),
 	})
-	if err != nil {
+	if err != nil || !queued {
+		// Not on the wire (closed transport or full send queue): leave
+		// lastSent stale so the snapshot is retried, not forgotten.
 		return false
 	}
 	n.metrics.GossipOut.Inc()
@@ -500,6 +522,8 @@ func (n *Node) HandleClientConn(nc net.Conn) {
 	n.trackInbound(nc)
 	n.serveConn(nc, func(f resv.Frame, now int64) resv.Frame {
 		return n.dispatchClient(c, f, now)
+	}, func(ops []resv.Frame, now int64, out []resv.Frame) []resv.Frame {
+		return append(out, n.dispatchClientBatch(c, ops, now))
 	})
 	n.untrackInbound(nc)
 	n.cmu.Lock()
@@ -513,10 +537,13 @@ func (n *Node) HandleClientConn(nc net.Conn) {
 // gossip. Dropping the connection releases every claim it owns — a
 // crashed entry node frees its downstream hops without waiting for TTL.
 func (n *Node) HandlePeerConn(nc net.Conn) {
-	sess := newPeerSess()
+	sess := newPeerSess(len(n.links))
 	n.trackInbound(nc)
 	n.serveConn(nc, func(f resv.Frame, now int64) resv.Frame {
 		return n.dispatchPeer(sess, f, now)
+	}, func(ops []resv.Frame, now int64, out []resv.Frame) []resv.Frame {
+		out = append(out, n.dispatchPeerBatch(sess, ops, now))
+		return n.appendReplyGossip(sess, out)
 	})
 	n.untrackInbound(nc)
 	now := n.nowNanos()
@@ -542,12 +569,15 @@ func (n *Node) untrackInbound(nc net.Conn) {
 // serveConn is the shared batched frame loop (the resv serving idiom):
 // decode every complete frame one read buffered, dispatch, coalesce the
 // replies into one write, flush on idle. Gossip frames produce no reply
-// (dispatch returns the zero Frame).
-func (n *Node) serveConn(nc net.Conn, dispatch func(resv.Frame, int64) resv.Frame) {
+// (dispatch returns the zero Frame). batch, when non-nil, serves a
+// collected MsgReserveBatch body — it appends its reply frames (the
+// verdict bitmap, plus any piggybacked gossip) to out.
+func (n *Node) serveConn(nc net.Conn, dispatch func(resv.Frame, int64) resv.Frame, batch func(ops []resv.Frame, now int64, out []resv.Frame) []resv.Frame) {
 	defer func() { _ = nc.Close() }()
 	br := bufio.NewReaderSize(nc, readBufSize)
 	wbuf := make([]byte, 0, 1024)
-	var frames []resv.Frame
+	var frames, replies []resv.Frame
+	var bc resv.BatchCollector
 	for {
 		if _, err := br.Peek(resv.FrameSize); err != nil {
 			if n.Logf != nil && !(errors.Is(err, io.EOF) && br.Buffered() == 0) && !errors.Is(err, net.ErrClosed) {
@@ -565,7 +595,38 @@ func (n *Node) serveConn(nc net.Conn, dispatch func(resv.Frame, int64) resv.Fram
 		t0 := time.Now()
 		now := n.nowNanos()
 		for _, f := range frames {
-			reply := dispatch(f, now)
+			var reply resv.Frame
+			switch {
+			case bc.Active():
+				done, berr := bc.Add(f)
+				if berr != nil {
+					// The batch body broke off; fail it and serve the
+					// offending frame on its own, like the resv server.
+					n.metrics.Errors.Inc()
+					wbuf = resv.AppendFrame(wbuf, resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)})
+					reply = dispatch(f, now)
+				} else if done {
+					replies = batch(bc.Ops(), now, replies[:0])
+					for _, r := range replies {
+						wbuf = resv.AppendFrame(wbuf, r)
+					}
+					if len(wbuf) >= writeFlushThreshold && !n.flush(nc, &wbuf) {
+						return
+					}
+					continue
+				} else {
+					continue
+				}
+			case f.Type == resv.MsgReserveBatch && batch != nil:
+				if berr := bc.Begin(f); berr != nil {
+					n.metrics.Errors.Inc()
+					reply = resv.Frame{Type: resv.MsgError, FlowID: f.FlowID, Value: float64(resv.ErrCodeBadRequest)}
+				} else {
+					continue
+				}
+			default:
+				reply = dispatch(f, now)
+			}
 			if reply.Type == 0 {
 				continue
 			}
@@ -711,7 +772,15 @@ func (n *Node) reservePath(c *cconn, f resv.Frame, now int64) resv.Frame {
 			}
 			wireID := uint64(g)<<idxShift | hopKey
 			t0 := n.nowNanos()
-			granted, share, err := p.mc.ReserveClass(n.ctx, wireID, f.Value, f.Class)
+			op := p.co.enqueue(resv.Frame{Type: resv.MsgRequest, Class: f.Class, FlowID: wireID, Value: f.Value})
+			if op == nil {
+				n.metrics.ForwardErrors.Inc()
+				failed = true
+				break
+			}
+			op.wait()
+			granted, err := op.granted, op.err
+			p.co.put(op)
 			n.metrics.HopNS.Record(uint64(n.nowNanos() - t0))
 			n.metrics.Forwards.Inc()
 			n.piggyback(p)
@@ -727,7 +796,7 @@ func (n *Node) reservePath(c *cconn, f resv.Frame, now int64) resv.Frame {
 				break
 			}
 			n.own[g].Add(1)
-			if share < minShare {
+			if share := n.linkShare(g); share < minShare {
 				minShare = share
 			}
 		}
@@ -762,6 +831,14 @@ func (n *Node) reservePath(c *cconn, f resv.Frame, now int64) resv.Frame {
 	return resv.Frame{Type: resv.MsgGrant, FlowID: f.FlowID, Value: minShare}
 }
 
+// linkShare is link g's worst-case per-flow share, computed from the
+// cluster-wide topology and bounds — the same C/kmax the owner's counting
+// policy reports in a single-op grant, available locally so batched grants
+// need no per-op share on the wire.
+func (n *Node) linkShare(g int) float64 {
+	return n.topo.Links[g].Capacity / float64(n.bounds[g])
+}
+
 // releaseHops releases the first upTo links of a path claimed under
 // hopKey: local links through their claim tables, remote links by
 // best-effort teardown (an owner that already expired the claim answers
@@ -778,7 +855,10 @@ func (n *Node) releaseHops(pathIdx int, hopKey uint64, upTo int, now int64) {
 		}
 		n.own[g].Add(-1)
 		if p := n.peers[n.topo.Links[g].Owner].Load(); p != nil {
-			_ = p.mc.Teardown(n.ctx, uint64(g)<<idxShift|hopKey)
+			if op := p.co.enqueue(resv.Frame{Type: resv.MsgTeardown, FlowID: uint64(g)<<idxShift | hopKey}); op != nil {
+				op.wait()
+				p.co.put(op)
+			}
 		}
 	}
 }
@@ -824,6 +904,304 @@ func (n *Node) refreshPath(c *cconn, f resv.Frame, now int64) resv.Frame {
 		}
 	}
 	return resv.Frame{Type: resv.MsgRefreshOK, FlowID: f.FlowID, Value: n.ttl.Seconds()}
+}
+
+// ---- client-plane batch dispatch ----
+
+// batchOpKind classifies one op of a client-plane batch.
+type batchOpKind uint8
+
+const (
+	batchSkip    batchOpKind = iota // invalid op or completed teardown: bit already decided
+	batchReserve                    // a path admission in flight
+)
+
+// batchFlow is one batch op's working state: the pending path flow, the
+// claimed-or-enqueued prefix of its path, and the remote rendezvous per
+// hop position (nil = local hop, claimed inline).
+type batchFlow struct {
+	kind     batchOpKind
+	failed   bool
+	pf       *pathFlow
+	id       uint64
+	hopKey   uint64
+	pathIdx  int32
+	nlinks   int // length of the path prefix claimed locally or enqueued remotely
+	minShare float64
+	ops      [MaxPathLinks]*hopOp
+}
+
+// batchScratch is the pooled working state of dispatchClientBatch, sized
+// for resv.MaxBatch ops of MaxPathLinks hops each so the steady state
+// allocates nothing.
+type batchScratch struct {
+	flows [resv.MaxBatch]batchFlow
+	waves []*hopOp // remote teardowns (client ops + rollbacks) awaiting completion
+	peers [(MaxNodes + 63) / 64]uint64
+}
+
+var batchScratchPool = sync.Pool{New: func() interface{} {
+	return &batchScratch{waves: make([]*hopOp, 0, resv.MaxBatch*MaxPathLinks)}
+}}
+
+// dispatchClientBatch serves one client-plane MsgReserveBatch body: every
+// request op routes, installs its pending flow, claims local hops inline
+// and enqueues remote hops on their owners' coalescers — so N flows
+// sharing a next hop cost one batched hop RPC instead of N round trips —
+// then all rendezvous complete and each flow finalizes all-or-nothing.
+// Teardown ops release in place (body order is preserved per peer, so a
+// teardown's freed slot is claimable by a later op in the same batch). The
+// reply's verdict bit i reports op i; Value is the minimum granted
+// worst-case share across the batch's granted flows.
+//
+// Per-flow atomicity is exactly the single-op path's: a flow whose hops
+// partially grant — some links full, an owner unreachable, or the client
+// connection dropping mid-batch — rolls back every hop it claimed before
+// the reply ships, leaving no residue anywhere.
+func (n *Node) dispatchClientBatch(c *cconn, ops []resv.Frame, now int64) resv.Frame {
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.waves = sc.waves[:0]
+	for i := range sc.peers {
+		sc.peers[i] = 0
+	}
+	var verdict resv.BatchVerdict
+	var deadline int64
+	if n.ttl > 0 {
+		deadline = now + int64(n.ttl)
+	}
+	t0 := n.nowNanos()
+	nremote := 0
+
+	// Phase 1: walk ops in order — teardowns release, requests install and
+	// fan their hop claims out.
+	for i := range ops {
+		f := ops[i]
+		bf := &sc.flows[i]
+		*bf = batchFlow{}
+		switch f.Type {
+		case resv.MsgTeardown:
+			c.mu.Lock()
+			pf, ok := c.flows[f.FlowID]
+			if !ok || pf.pending {
+				c.mu.Unlock()
+				n.metrics.Errors.Inc()
+				continue
+			}
+			pathIdx, hopKey := int(pf.path), pf.hopKey
+			delete(c.flows, f.FlowID)
+			c.put(pf)
+			c.mu.Unlock()
+			verdict |= 1 << uint(i)
+			n.metrics.PathTeardowns.Inc()
+			for _, g := range n.topo.Paths[pathIdx].Links {
+				if ls := n.byGlobal[g]; ls != nil {
+					ls.release(now, hopKey)
+					continue
+				}
+				n.own[g].Add(-1)
+				owner := n.topo.Links[g].Owner
+				if p := n.peers[owner].Load(); p != nil {
+					if op := p.co.enqueue(resv.Frame{Type: resv.MsgTeardown, FlowID: uint64(g)<<idxShift | hopKey}); op != nil {
+						sc.waves = append(sc.waves, op)
+						sc.peers[owner>>6] |= 1 << uint(owner&63)
+						nremote++
+					}
+				}
+			}
+		case resv.MsgRequest:
+			pairIdx := int(f.FlowID >> idxShift)
+			if pairIdx >= len(n.topo.Pairs) || !(f.Value >= 0) || math.IsInf(f.Value, 0) {
+				n.metrics.Errors.Inc()
+				continue
+			}
+			n.metrics.PathRequests.Inc()
+			pr := &n.topo.Pairs[pairIdx]
+			pathIdx, fallback, alternate := n.route(pr, f.FlowID, now)
+			if fallback {
+				n.metrics.RouteFallback.Inc()
+			}
+			if alternate {
+				n.metrics.RouteAlt.Inc()
+			}
+			hopKey := uint64(n.idx)<<entryShift | n.hopSeq.Add(1)&seqMask
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				n.metrics.Errors.Inc()
+				continue
+			}
+			if _, dup := c.flows[f.FlowID]; dup {
+				c.mu.Unlock()
+				n.metrics.Errors.Inc()
+				continue
+			}
+			pf := c.get()
+			pf.id, pf.hopKey, pf.path, pf.pending = f.FlowID, hopKey, int32(pathIdx), true
+			c.flows[f.FlowID] = pf
+			c.mu.Unlock()
+			bf.kind, bf.pf, bf.id, bf.hopKey, bf.pathIdx = batchReserve, pf, f.FlowID, hopKey, int32(pathIdx)
+			bf.minShare = math.MaxFloat64
+			for pos, g := range n.topo.Paths[pathIdx].Links {
+				if ls := n.byGlobal[g]; ls != nil {
+					dec, st := ls.admit(now, hopKey, f.Value, f.Class, nil, deadline)
+					if st != admitGranted {
+						bf.failed = true
+						break
+					}
+					bf.ops[pos] = nil
+					bf.nlinks = pos + 1
+					if dec.Share < bf.minShare {
+						bf.minShare = dec.Share
+					}
+					continue
+				}
+				owner := n.topo.Links[g].Owner
+				var op *hopOp
+				if p := n.peers[owner].Load(); p != nil {
+					op = p.co.enqueue(resv.Frame{Type: resv.MsgRequest, Class: f.Class, FlowID: uint64(g)<<idxShift | hopKey, Value: f.Value})
+				}
+				if op == nil {
+					n.metrics.ForwardErrors.Inc()
+					bf.failed = true
+					break
+				}
+				sc.peers[owner>>6] |= 1 << uint(owner&63)
+				nremote++
+				n.metrics.Forwards.Inc()
+				bf.ops[pos] = op
+				bf.nlinks = pos + 1
+				if share := n.linkShare(g); share < bf.minShare {
+					bf.minShare = share
+				}
+			}
+		default:
+			n.metrics.Errors.Inc()
+		}
+	}
+
+	// Phase 2: every rendezvous completes. The coalescers have been
+	// batching the enqueued ops per owner the whole time.
+	for _, op := range sc.waves {
+		op.wait()
+		op.co.put(op)
+	}
+	sc.waves = sc.waves[:0]
+	for i := range ops {
+		bf := &sc.flows[i]
+		if bf.kind != batchReserve {
+			continue
+		}
+		for pos := 0; pos < bf.nlinks; pos++ {
+			op := bf.ops[pos]
+			if op == nil {
+				continue
+			}
+			op.wait()
+			switch {
+			case op.err != nil:
+				n.metrics.ForwardErrors.Inc()
+				bf.failed = true
+			case !op.granted:
+				bf.failed = true
+			default:
+				n.own[n.topo.Paths[bf.pathIdx].Links[pos]].Add(1)
+			}
+		}
+	}
+	if nremote > 0 {
+		elapsed := n.nowNanos() - t0
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		n.metrics.HopNS.RecordN(uint64(elapsed)/uint64(nremote), uint64(nremote))
+	}
+
+	// Phase 3: finalize each flow all-or-nothing.
+	minShare := math.MaxFloat64
+	granted := 0
+	for i := range ops {
+		bf := &sc.flows[i]
+		if bf.kind != batchReserve {
+			continue
+		}
+		ok := !bf.failed
+		if ok {
+			c.mu.Lock()
+			if c.closed {
+				// The connection dropped while the hops were being claimed;
+				// nobody else will roll this flow back.
+				ok = false
+			} else {
+				bf.pf.share, bf.pf.deadline, bf.pf.pending = bf.minShare, deadline, false
+			}
+			c.mu.Unlock()
+		}
+		if ok {
+			verdict |= 1 << uint(i)
+			granted++
+			n.metrics.PathGrants.Inc()
+			if bf.minShare < minShare {
+				minShare = bf.minShare
+			}
+			for pos := 0; pos < bf.nlinks; pos++ {
+				if op := bf.ops[pos]; op != nil {
+					op.co.put(op)
+				}
+			}
+			continue
+		}
+		path := &n.topo.Paths[bf.pathIdx]
+		rolled := false
+		for pos := bf.nlinks - 1; pos >= 0; pos-- {
+			g := path.Links[pos]
+			op := bf.ops[pos]
+			if op == nil {
+				n.byGlobal[g].release(now, bf.hopKey)
+				rolled = true
+				continue
+			}
+			if op.err == nil && op.granted {
+				n.own[g].Add(-1)
+				if p := n.peers[n.topo.Links[g].Owner].Load(); p != nil {
+					if top := p.co.enqueue(resv.Frame{Type: resv.MsgTeardown, FlowID: uint64(g)<<idxShift | bf.hopKey}); top != nil {
+						sc.waves = append(sc.waves, top)
+					}
+				}
+				rolled = true
+			}
+			op.co.put(op)
+		}
+		if rolled {
+			n.metrics.Rollbacks.Inc()
+		}
+		c.mu.Lock()
+		delete(c.flows, bf.id)
+		c.put(bf.pf)
+		c.mu.Unlock()
+		n.metrics.PathDenies.Inc()
+	}
+	// Rollback teardowns complete before the reply ships, so a client that
+	// immediately retries sees the freed slots.
+	for _, op := range sc.waves {
+		op.wait()
+		op.co.put(op)
+	}
+
+	// One piggyback pass per touched peer: gossip about this node's own
+	// links rides the coalesced writes the batch already paid for.
+	for j := range n.peers {
+		if sc.peers[j>>6]&(1<<uint(j&63)) == 0 {
+			continue
+		}
+		if p := n.peers[j].Load(); p != nil {
+			n.piggyback(p)
+		}
+	}
+	batchScratchPool.Put(sc)
+	if granted == 0 {
+		minShare = 0
+	}
+	return resv.Frame{Type: resv.MsgReserveBatchReply, FlowID: uint64(verdict), Value: minShare}
 }
 
 func (n *Node) statsReply(f resv.Frame) resv.Frame {
@@ -894,6 +1272,77 @@ func (n *Node) dispatchPeer(sess *peerSess, f resv.Frame, now int64) resv.Frame 
 	}
 }
 
+// dispatchPeerBatch serves one batched peer-plane body in order: runs of
+// consecutive claims on the same link with identical rate and class go
+// through one vectored link admission (one policy CAS for the whole run),
+// teardowns release singly, and the reply is one verdict bitmap. Value
+// carries the minimum granted share across the batch's runs — entry nodes
+// compute per-link shares from cluster-wide knowledge and ignore it.
+func (n *Node) dispatchPeerBatch(sess *peerSess, ops []resv.Frame, now int64) resv.Frame {
+	var verdict resv.BatchVerdict
+	share := math.MaxFloat64
+	var deadline int64
+	if n.ttl > 0 {
+		deadline = now + int64(n.ttl)
+	}
+	for i := 0; i < len(ops); {
+		f := ops[i]
+		if f.Type == resv.MsgTeardown {
+			if ls := n.localLink(f.FlowID); ls != nil && ls.release(now, f.FlowID&keyMask) {
+				verdict |= 1 << uint(i)
+			} else {
+				n.metrics.Errors.Inc()
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ops) && ops[j].Type == resv.MsgRequest &&
+			ops[j].FlowID>>idxShift == f.FlowID>>idxShift &&
+			ops[j].Value == f.Value && ops[j].Class == f.Class {
+			j++
+		}
+		ls := n.localLink(f.FlowID)
+		if ls == nil || !(f.Value >= 0) || math.IsInf(f.Value, 0) {
+			n.metrics.Errors.Add(uint64(j - i))
+			i = j
+			continue
+		}
+		installed, dec := ls.admitN(now, ops[i:j], sess, deadline, i, &verdict)
+		if installed > 0 && dec.Share < share {
+			share = dec.Share
+		}
+		i = j
+	}
+	if share == math.MaxFloat64 {
+		share = 0
+	}
+	return resv.Frame{Type: resv.MsgReserveBatchReply, FlowID: uint64(verdict), Value: share}
+}
+
+// appendReplyGossip piggybacks occupancy snapshots of local links whose
+// active count moved since this connection last saw one — batch replies
+// carry the freshest load signal straight back to the entry node whose
+// burst just changed it, so the two-choice router sharpens under batched
+// load instead of staling until the next anti-entropy tick.
+func (n *Node) appendReplyGossip(sess *peerSess, out []resv.Frame) []resv.Frame {
+	for li, ls := range n.links {
+		a := ls.pol.Active()
+		if sess.lastGossip[li] == a {
+			continue
+		}
+		sess.lastGossip[li] = a
+		v := n.gossipSeq.Add(1)
+		out = append(out, resv.Frame{
+			Type:   resv.MsgGossip,
+			FlowID: uint64(ls.link.Index)<<idxShift | v&keyMask,
+			Value:  float64(a),
+		})
+		n.metrics.GossipOut.Inc()
+	}
+	return out
+}
+
 // localLink resolves a peer-plane FlowID's link index to local state, nil
 // when out of range or owned elsewhere.
 func (n *Node) localLink(flowID uint64) *linkState {
@@ -948,6 +1397,43 @@ func (l *Local) Teardown(pair int, seq uint64) error {
 		return fmt.Errorf("cluster: teardown pair %d seq %d: error code %d", pair, seq, uint64(r.Value))
 	}
 	return nil
+}
+
+// ReserveBatch requests up to resv.MaxBatch path reservations on one pair
+// in a single batched dispatch: hop claims sharing a next hop coalesce
+// into one peer RPC. Bit i of the verdict reports (pair, seqs[i]); share
+// is the minimum granted worst-case share across the granted flows.
+func (l *Local) ReserveBatch(pair int, seqs []uint64, bandwidth float64) (resv.BatchVerdict, float64, error) {
+	if len(seqs) < 1 || len(seqs) > resv.MaxBatch {
+		return 0, 0, fmt.Errorf("cluster: batch of %d flows (want 1..%d)", len(seqs), resv.MaxBatch)
+	}
+	var ops [resv.MaxBatch]resv.Frame
+	for i, s := range seqs {
+		ops[i] = resv.Frame{Type: resv.MsgRequest, FlowID: FlowID(pair, s), Value: bandwidth}
+	}
+	r := l.n.dispatchClientBatch(l.c, ops[:len(seqs)], l.n.nowNanos())
+	if r.Type != resv.MsgReserveBatchReply {
+		return 0, 0, fmt.Errorf("cluster: batch reserve pair %d: error code %d", pair, uint64(r.Value))
+	}
+	return resv.BatchVerdict(r.FlowID), r.Value, nil
+}
+
+// TeardownBatch releases up to resv.MaxBatch path reservations on one pair
+// in a single batched dispatch. Bit i of the verdict reports whether
+// (pair, seqs[i]) existed and was released.
+func (l *Local) TeardownBatch(pair int, seqs []uint64) (resv.BatchVerdict, error) {
+	if len(seqs) < 1 || len(seqs) > resv.MaxBatch {
+		return 0, fmt.Errorf("cluster: batch of %d flows (want 1..%d)", len(seqs), resv.MaxBatch)
+	}
+	var ops [resv.MaxBatch]resv.Frame
+	for i, s := range seqs {
+		ops[i] = resv.Frame{Type: resv.MsgTeardown, FlowID: FlowID(pair, s)}
+	}
+	r := l.n.dispatchClientBatch(l.c, ops[:len(seqs)], l.n.nowNanos())
+	if r.Type != resv.MsgReserveBatchReply {
+		return 0, fmt.Errorf("cluster: batch teardown pair %d: error code %d", pair, uint64(r.Value))
+	}
+	return resv.BatchVerdict(r.FlowID), nil
 }
 
 // Refresh renews (pair, seq)'s soft state end to end.

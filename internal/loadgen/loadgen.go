@@ -128,6 +128,19 @@ type Config struct {
 	// loopback-fast so injected loss costs milliseconds, not the 250ms
 	// wide-area default).
 	UDPTimeout time.Duration
+
+	// Batch ≥ 2 coalesces protocol ops into multi-reserve bodies of up to
+	// that many ops wherever the dynamics offer more than one op at a single
+	// virtual instant: the pre-fill, burst arrivals, a departure's teardown
+	// with the promotion reserves it frees, post-drop re-establishment, and
+	// the final cleanup. The server processes a body in op order, so every
+	// batched run keeps the exact sequential semantics — same grants, same
+	// denials, same statistics — while paying one round trip per body. Lone
+	// ops still travel as classic single frames. Batch framing is
+	// stream-only (classic or mux transport) and the retry path is
+	// single-frame, so Batch is incompatible with Transport "udp" and with
+	// RetryAttempts > 1. 0 or 1 means single-frame operation.
+	Batch int
 }
 
 func (cfg *Config) withDefaults() (Config, error) {
@@ -192,6 +205,17 @@ func (cfg *Config) withDefaults() (Config, error) {
 	}
 	if c.UDPTimeout == 0 {
 		c.UDPTimeout = 25 * time.Millisecond
+	}
+	if c.Batch < 0 || c.Batch > resv.MaxBatch {
+		return c, fmt.Errorf("loadgen: Batch must be in [0, %d], got %d", resv.MaxBatch, c.Batch)
+	}
+	if c.Batch >= 2 {
+		if c.Transport == "udp" {
+			return c, fmt.Errorf("loadgen: Batch needs a stream transport; batch framing does not exist on udp")
+		}
+		if c.RetryAttempts > 1 {
+			return c, fmt.Errorf("loadgen: Batch and RetryAttempts are mutually exclusive (the retry path is single-frame)")
+		}
 	}
 	return c, nil
 }
@@ -258,6 +282,12 @@ type Result struct {
 	// transport under UDPLossEvery; 0 otherwise).
 	UDPRetransmits int
 
+	// Batches counts the multi-op bodies issued in batch mode and
+	// BatchedOps the protocol ops they carried (0 in single-frame mode;
+	// lone ops always travel as single frames and are not counted here).
+	Batches    int
+	BatchedOps int
+
 	// FinalActive is the server's reservation count after cleanup (0 on a
 	// correct server: every grant was matched by a teardown or release).
 	FinalActive int
@@ -279,6 +309,7 @@ type rclient interface {
 	Reserve(ctx context.Context, flowID uint64, bandwidth float64) (bool, float64, error)
 	ReserveClass(ctx context.Context, flowID uint64, bandwidth float64, class uint8) (bool, float64, error)
 	ReserveWithRetry(ctx context.Context, flowID uint64, bandwidth float64, policy resv.RetryPolicy) (bool, float64, int, error)
+	ReserveBatch(ctx context.Context, ops []resv.Frame) (resv.BatchVerdict, float64, error)
 	Teardown(ctx context.Context, flowID uint64) error
 	Stats(ctx context.Context) (int, int, error)
 	SetMetrics(m *resv.ClientMetrics)
@@ -459,11 +490,9 @@ func Run(cfg Config) (*Result, error) {
 	// Pre-fill the link with round(k̄) flows so warmup starts near the
 	// stationary regime (exponential holding is memoryless, so a fresh
 	// holding time is the correct stationary residual).
-	for i := 0; i < int(c.Rate*c.Hold+0.5); i++ {
-		r.arrive(hold)
-		if r.err != nil {
-			return nil, r.err
-		}
+	r.arriveGroup(hold, int(c.Rate*c.Hold+0.5))
+	if r.err != nil {
+		return nil, r.err
 	}
 	var pump func()
 	pump = func() {
@@ -472,9 +501,7 @@ func Run(cfg Config) (*Result, error) {
 			if r.err != nil {
 				return
 			}
-			for i := 0; i < batch; i++ {
-				r.arrive(hold)
-			}
+			r.arriveGroup(hold, batch)
 			pump()
 		})
 	}
@@ -494,6 +521,12 @@ func Run(cfg Config) (*Result, error) {
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if r.batched() && len(ids) >= 2 {
+			if err := r.teardownBatch(ep, ids); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		for _, id := range ids {
 			if err := r.teardown(ep.reserved[id]); err != nil {
 				return nil, err
@@ -717,6 +750,226 @@ func (r *runner) request(f *flow) bool {
 	return ok
 }
 
+// batched reports whether multi-op bodies are enabled.
+func (r *runner) batched() bool { return r.cfg.Batch >= 2 }
+
+// arriveGroup handles n flow arrivals at one virtual instant. In
+// single-frame mode (or for a lone arrival) each goes through arrive; in
+// batch mode the group's first attempts coalesce into multi-reserve
+// bodies of up to Batch ops, one connection per body (round-robin moves
+// per body instead of per flow). The server grants a body's ops exactly
+// as it would grant the same frames sent one at a time, and the holding
+// times draw from the RNG in the same order either way, so a batched run
+// reproduces the sequential run's dynamics and statistics bit for bit.
+func (r *runner) arriveGroup(hold sim.Holding, n int) {
+	if !r.batched() || n < 2 {
+		for i := 0; i < n; i++ {
+			r.arrive(hold)
+		}
+		return
+	}
+	r.advance(r.eng.Now())
+	b, counted := r.inWindow()
+	for n > 0 && r.err == nil {
+		chunk := n
+		if chunk > r.cfg.Batch {
+			chunk = r.cfg.Batch
+		}
+		ci := r.rrNext
+		r.rrNext = (r.rrNext + 1) % len(r.eps)
+		flows := make([]*flow, chunk)
+		for i := range flows {
+			r.nextID++
+			flows[i] = &flow{id: r.nextID, conn: ci, present: true}
+			r.pop++
+			if r.pop > r.peak {
+				r.peak = r.pop
+			}
+			if counted {
+				r.res.Flows++
+				r.firstAtt[b]++
+			}
+		}
+		granted := r.requestBatch(ci, flows)
+		if r.err != nil {
+			return
+		}
+		for i, f := range flows {
+			if !granted[i] {
+				if counted {
+					r.res.FirstDenied++
+					r.firstDen[b]++
+				}
+				r.waiting = append(r.waiting, f)
+			}
+			f := f
+			r.eng.Schedule(hold.Sample(r.src), func() { r.depart(f) })
+		}
+		n -= chunk
+	}
+}
+
+// issueBatch sends one multi-op body over ep's connection and tallies it.
+func (r *runner) issueBatch(ep *endpoint, ops []resv.Frame) (resv.BatchVerdict, float64, error) {
+	ctx, cancel := rpcCtx()
+	defer cancel()
+	r.res.Batches++
+	r.res.BatchedOps += len(ops)
+	return ep.client.ReserveBatch(ctx, ops)
+}
+
+// requestBatch issues one multi-reserve body for flows (all assigned to
+// connection ci) and books every verdict bit exactly as request books a
+// single reply: grant and share anomalies, harness reservation state,
+// the endpoint's conn-scoped books. It returns per-flow grants, nil when
+// the run aborted.
+func (r *runner) requestBatch(ci int, flows []*flow) []bool {
+	ep := r.eps[ci]
+	ops := make([]resv.Frame, len(flows))
+	for i, f := range flows {
+		ops[i] = resv.Frame{Type: resv.MsgRequest, Class: r.cfg.Class, FlowID: f.id, Value: 1}
+	}
+	v, share, err := r.issueBatch(ep, ops)
+	if err != nil {
+		r.err = fmt.Errorf("loadgen: batch reserve (%d flows): %w", len(flows), err)
+		return nil
+	}
+	granted := make([]bool, len(flows))
+	anyGrant := false
+	for i, f := range flows {
+		ok := v.Granted(i)
+		granted[i] = ok
+		if ok {
+			anyGrant = true
+			if r.nres >= r.kmax {
+				r.res.Anomalies++ // grant beyond the admission threshold
+			}
+			f.reserved = true
+			r.nres++
+			ep.reserved[f.id] = f
+		} else if r.nres < r.kmax && !r.cfg.PolicyDenies {
+			r.res.Anomalies++ // denial with free capacity
+		}
+	}
+	if anyGrant && math.Abs(share-r.share) > 1e-9 {
+		r.res.Anomalies++ // the batch share must be the worst-case C/kmax
+	}
+	return granted
+}
+
+// teardownPromote is depart's batched tail: the departing flow's teardown
+// and the promotion reserves its slot frees ride one body. A waiting flow
+// has no server-side state, so a promotion candidate is reassigned to the
+// departing flow's connection to share its body; in-order body processing
+// frees the slot before the first reserve claims it. Denied candidates
+// return to the head of the waiting list and end the promotion round,
+// exactly like a sequential promote.
+func (r *runner) teardownPromote(f *flow) {
+	free := r.kmax - (r.nres - 1)
+	limit := r.cfg.Batch - 1
+	if limit > free {
+		limit = free
+	}
+	var cands []*flow
+	for len(cands) < limit {
+		var c *flow
+		for len(r.waiting) > 0 {
+			head := r.waiting[0]
+			r.waiting = r.waiting[1:]
+			if head.present && !head.reserved {
+				c = head
+				break
+			}
+		}
+		if c == nil {
+			break
+		}
+		c.conn = f.conn
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 { // a lone teardown travels as a single frame
+		if err := r.teardown(f); err != nil {
+			r.err = err
+		}
+		return
+	}
+	ep := r.eps[f.conn]
+	ops := make([]resv.Frame, 0, len(cands)+1)
+	ops = append(ops, resv.Frame{Type: resv.MsgTeardown, FlowID: f.id})
+	for _, c := range cands {
+		ops = append(ops, resv.Frame{Type: resv.MsgRequest, Class: r.cfg.Class, FlowID: c.id, Value: 1})
+	}
+	v, share, err := r.issueBatch(ep, ops)
+	if err != nil {
+		r.err = fmt.Errorf("loadgen: teardown+promote batch for flow %d: %w", f.id, err)
+		return
+	}
+	if !v.Granted(0) {
+		r.err = fmt.Errorf("loadgen: server rejected teardown of reserved flow %d", f.id)
+		return
+	}
+	f.reserved = false
+	r.nres--
+	delete(ep.reserved, f.id)
+	anyGrant := false
+	var back []*flow
+	for i, c := range cands {
+		if v.Granted(i + 1) {
+			anyGrant = true
+			if r.nres >= r.kmax {
+				r.res.Anomalies++ // grant beyond the admission threshold
+			}
+			c.reserved = true
+			r.nres++
+			ep.reserved[c.id] = c
+		} else {
+			if r.nres < r.kmax && !r.cfg.PolicyDenies {
+				r.res.Anomalies++ // denial with free capacity
+			}
+			back = append(back, c)
+		}
+	}
+	if anyGrant && math.Abs(share-r.share) > 1e-9 {
+		r.res.Anomalies++ // the batch share must be the worst-case C/kmax
+	}
+	if len(back) > 0 {
+		r.waiting = append(back, r.waiting...)
+		return // a denial ends the promotion round, as in promote
+	}
+	// More free slots than one body could carry: finish promoting singly.
+	r.promote()
+}
+
+// teardownBatch releases ep's remaining reservations in multi-teardown
+// bodies; every op's bit must come back set.
+func (r *runner) teardownBatch(ep *endpoint, ids []uint64) error {
+	for lo := 0; lo < len(ids); lo += r.cfg.Batch {
+		hi := lo + r.cfg.Batch
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		chunk := ids[lo:hi]
+		ops := make([]resv.Frame, len(chunk))
+		for i, id := range chunk {
+			ops[i] = resv.Frame{Type: resv.MsgTeardown, FlowID: id}
+		}
+		v, _, err := r.issueBatch(ep, ops)
+		if err != nil {
+			return fmt.Errorf("loadgen: batch teardown: %w", err)
+		}
+		for i, id := range chunk {
+			if !v.Granted(i) {
+				return fmt.Errorf("loadgen: server rejected teardown of reserved flow %d", id)
+			}
+			f := ep.reserved[id]
+			f.reserved = false
+			r.nres--
+			delete(ep.reserved, id)
+		}
+	}
+	return nil
+}
+
 // teardown releases f's reservation.
 func (r *runner) teardown(f *flow) error {
 	ep := r.eps[f.conn]
@@ -749,6 +1002,10 @@ func (r *runner) depart(f *flow) {
 			r.promote()
 			return
 		}
+	}
+	if r.batched() {
+		r.teardownPromote(f)
+		return
 	}
 	if err := r.teardown(f); err != nil {
 		r.err = err
@@ -831,6 +1088,26 @@ func (r *runner) dropConn(departing *flow) {
 			return
 		}
 		time.Sleep(100 * time.Microsecond)
+	}
+	if r.batched() && len(survivors) >= 2 {
+		for lo := 0; lo < len(survivors); lo += r.cfg.Batch {
+			hi := lo + r.cfg.Batch
+			if hi > len(survivors) {
+				hi = len(survivors)
+			}
+			granted := r.requestBatch(ci, survivors[lo:hi])
+			if r.err != nil {
+				return
+			}
+			for i, f := range survivors[lo:hi] {
+				if !granted[i] {
+					r.waiting = append(r.waiting, f) // anomaly already counted
+					continue
+				}
+				r.res.Reissued++
+			}
+		}
+		return
 	}
 	for _, f := range survivors {
 		if !r.request(f) {

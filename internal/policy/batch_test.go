@@ -1,0 +1,171 @@
+package policy
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// batchCase describes one policy under the batch-boundary harness: the
+// policy, the rate and class its requests carry, and the effective
+// admission bound for that (rate, class) pair.
+type batchCase struct {
+	name  string
+	pol   Policy
+	rate  float64
+	class uint8
+	bound int
+}
+
+// batchCases builds the five built-ins, each configured so its boundary
+// for the harness's request stream sits at bound.
+func batchCases(t *testing.T, bound int) []batchCase {
+	t.Helper()
+	counting := newCounting(t, float64(bound), bound)
+	bw, err := NewBandwidth(float64(bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ample tokens: the bucket never sheds, so the boundary is the inner
+	// counting bound (a denied inner admit refunds its token).
+	tb, err := NewTokenBucket(newCounting(t, float64(bound), bound), 1, float64(2*bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard-class requests cut at the standard tier, set to the bound.
+	tiered, err := NewTiered(float64(bound), bound, bound, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target above kmax: the measurement gate never binds, the hard bound
+	// at kmax does.
+	meas, err := NewMeasured(float64(bound), bound, float64(bound+2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []batchCase{
+		{"counting", counting, 0, ClassStandard, bound},
+		{"bandwidth", bw, 1, ClassStandard, bound},
+		{"token-bucket", tb, 0, ClassStandard, bound},
+		{"tiered", tiered, 0, ClassStandard, bound},
+		{"measured", meas, 0, ClassStandard, bound},
+	}
+}
+
+// TestAdmitBatchPrefixAtBoundary pins the partial-grant contract on every
+// built-in: with j slots left before the bound, a batch of n > j grants
+// exactly the first j ops and denies the other n−j, the grant side of the
+// Decision carries the share, and releasing the batch drains the books.
+func TestAdmitBatchPrefixAtBoundary(t *testing.T) {
+	const bound, j, n = 16, 5, 12
+	for _, tc := range batchCases(t, bound) {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < bound-j; i++ {
+				if d := tc.pol.Admit(0, uint64(i+1), tc.rate, tc.class); !d.Admit {
+					t.Fatalf("prefill admit %d denied: %+v", i, d)
+				}
+			}
+			granted, dec := AdmitBatch(tc.pol, 0, 1000, tc.rate, tc.class, n)
+			if granted != j {
+				t.Fatalf("batch of %d against %d free slots granted %d, want exactly %d", n, j, granted, j)
+			}
+			if !dec.Admit || !(dec.Share > 0) {
+				t.Fatalf("partial grant decision lost the grant side: %+v", dec)
+			}
+			if dec.Load <= 0 {
+				t.Fatalf("partial grant decision lost the denial's observed load: %+v", dec)
+			}
+			if a := tc.pol.Active(); a != int64(bound) {
+				t.Fatalf("active = %d after the boundary batch, want %d", a, bound)
+			}
+			// A follow-up batch against the full link grants nothing.
+			if g, d := AdmitBatch(tc.pol, 0, 2000, tc.rate, tc.class, n); g != 0 || d.Admit {
+				t.Fatalf("batch against a full link granted %d (%+v)", g, d)
+			}
+			ReleaseBatch(tc.pol, 0, tc.rate, j)
+			ReleaseBatch(tc.pol, 0, tc.rate, bound-j)
+			if a := tc.pol.Active(); a != 0 {
+				t.Fatalf("active = %d after releasing everything, want 0", a)
+			}
+		})
+	}
+}
+
+// TestAdmitBatchBoundaryRaced races concurrent batches at the admission
+// boundary: with exactly j free slots and every racer asking for more than
+// its fair share, the grants across all racers must sum to exactly j —
+// the vectored built-ins claim their prefix in a single CAS, and the loop
+// fallback's per-op claims are individually atomic — and the denied
+// remainder must leave no residue. Run under -race in CI.
+func TestAdmitBatchBoundaryRaced(t *testing.T) {
+	const bound, j, racers, n = 64, 5, 8, 16
+	for _, tc := range batchCases(t, bound) {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < bound-j; i++ {
+				if d := tc.pol.Admit(0, uint64(i+1), tc.rate, tc.class); !d.Admit {
+					t.Fatalf("prefill admit %d denied: %+v", i, d)
+				}
+			}
+			var total atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < racers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					granted, _ := AdmitBatch(tc.pol, 0, uint64(1000+w), tc.rate, tc.class, n)
+					total.Add(int64(granted))
+				}(w)
+			}
+			wg.Wait()
+			if g := total.Load(); g != j {
+				t.Fatalf("raced batches granted %d across %d racers, want exactly the %d free slots", g, racers, j)
+			}
+			if a := tc.pol.Active(); a != int64(bound) {
+				t.Fatalf("active = %d after the race, want %d", a, bound)
+			}
+			ReleaseBatch(tc.pol, 0, tc.rate, bound)
+			if a := tc.pol.Active(); a != 0 {
+				t.Fatalf("active = %d after releasing everything, want 0", a)
+			}
+		})
+	}
+}
+
+// TestAdmitBatchMatchesSerialSingles is the loop-fallback conformance
+// check: for every built-in, a batch decides exactly like the same ops
+// sent one Admit at a time at the same frozen now — same grant count from
+// the same starting state, including a token bucket that sheds mid-batch.
+func TestAdmitBatchMatchesSerialSingles(t *testing.T) {
+	mk := func(t *testing.T) []batchCase {
+		cases := batchCases(t, 8)
+		// A shedding bucket: 3 tokens, so a batch of 6 cuts at 3 even
+		// though the inner link has room — the fallback loop must stop
+		// exactly where serial singles would.
+		tb, err := NewTokenBucket(newCounting(t, 8, 8), 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(cases, batchCase{"token-bucket-shedding", tb, 0, ClassStandard, 3})
+	}
+	serial := mk(t)
+	batched := mk(t)
+	const n = 6
+	for i := range serial {
+		t.Run(serial[i].name, func(t *testing.T) {
+			s, b := serial[i], batched[i]
+			var want int
+			for k := 0; k < n; k++ {
+				if s.pol.Admit(0, uint64(k+1), s.rate, s.class).Admit {
+					want++
+				}
+			}
+			got, _ := AdmitBatch(b.pol, 0, 1, b.rate, b.class, n)
+			if got != want {
+				t.Fatalf("batch granted %d, serial singles granted %d", got, want)
+			}
+			if sa, ba := s.pol.Active(), b.pol.Active(); sa != ba {
+				t.Fatalf("active diverged: serial %d, batched %d", sa, ba)
+			}
+		})
+	}
+}

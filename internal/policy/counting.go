@@ -65,6 +65,33 @@ func (p *Counting) Admit(now int64, flowID uint64, rate float64, class uint8) De
 	}
 }
 
+// AdmitN implements BatchPolicy: one CAS claims min(n, kmax−active)
+// slots, so a batch straddling the boundary grants exactly the free slots
+// and denies the rest — the same winners a serial race would pick, n
+// admissions cheaper.
+func (p *Counting) AdmitN(now int64, rate float64, class uint8, n int) (int, Decision) {
+	for {
+		cur := p.active.Load()
+		j := p.bound - cur
+		if j <= 0 {
+			return 0, Decision{Load: float64(cur)}
+		}
+		if int64(n) < j {
+			j = int64(n)
+		}
+		if p.active.CompareAndSwap(cur, cur+j) {
+			d := Decision{Admit: true, Share: p.share}
+			if int(j) < n {
+				d.Load = float64(cur + j)
+			}
+			return int(j), d
+		}
+	}
+}
+
+// ReleaseN implements BatchPolicy.
+func (p *Counting) ReleaseN(now int64, rate float64, n int) { p.active.Add(-int64(n)) }
+
 // Release implements Policy.
 func (p *Counting) Release(now int64, rate float64) { p.active.Add(-1) }
 
@@ -129,6 +156,53 @@ func (p *Bandwidth) Admit(now int64, flowID uint64, rate float64, class uint8) D
 		if p.allocBits.CompareAndSwap(bits, math.Float64bits(cur+rate)) {
 			p.active.Add(1)
 			return Decision{Admit: true, Share: rate}
+		}
+	}
+}
+
+// AdmitN implements BatchPolicy: the largest prefix whose cumulative rate
+// still fits under capacity is claimed with one CAS of the rate-sum word,
+// accumulating the sum in the same left-to-right order n single Admits
+// would, so the cut lands on exactly the same request.
+func (p *Bandwidth) AdmitN(now int64, rate float64, class uint8, n int) (int, Decision) {
+	for {
+		bits := p.allocBits.Load()
+		cur := math.Float64frombits(bits)
+		next := cur
+		j := 0
+		for j < n && next+rate <= p.capacity+bwTolerance {
+			next += rate
+			j++
+		}
+		if j == 0 {
+			return 0, Decision{Load: cur}
+		}
+		if p.allocBits.CompareAndSwap(bits, math.Float64bits(next)) {
+			p.active.Add(int64(j))
+			d := Decision{Admit: true, Share: rate}
+			if j < n {
+				d.Load = next
+			}
+			return j, d
+		}
+	}
+}
+
+// ReleaseN implements BatchPolicy, mirroring AdmitN's sequential
+// accumulation so a batch admit+release round-trips the rate sum exactly.
+func (p *Bandwidth) ReleaseN(now int64, rate float64, n int) {
+	for {
+		bits := p.allocBits.Load()
+		next := math.Float64frombits(bits)
+		for i := 0; i < n; i++ {
+			next -= rate
+		}
+		if next < 0 {
+			next = 0 // float drift must never leave a phantom allocation
+		}
+		if p.allocBits.CompareAndSwap(bits, math.Float64bits(next)) {
+			p.active.Add(-int64(n))
+			return
 		}
 	}
 }

@@ -108,6 +108,58 @@ type Policy interface {
 	Allocated() float64
 }
 
+// BatchPolicy is optionally implemented by policies that can vector a run
+// of identical admission requests into one atomic transition. AdmitN
+// grants with exact prefix semantics: of n requests it admits the first
+// `granted` and denies the rest, and at the bound the cut is exact — a
+// batch straddling the last kmax−j free slots grants exactly j, under any
+// concurrency, because the built-ins claim all j slots in a single CAS.
+//
+// The returned Decision describes both sides of the cut: when granted > 0
+// it is the grant verdict (Admit true, Share set); when granted < n, Load
+// carries the occupancy the denial observed, exactly as a single denied
+// Admit would report it.
+type BatchPolicy interface {
+	// AdmitN decides n identical requests (same rate and class) at once.
+	AdmitN(now int64, rate float64, class uint8, n int) (granted int, dec Decision)
+	// ReleaseN returns n claims of the same granted rate.
+	ReleaseN(now int64, rate float64, n int)
+}
+
+// AdmitBatch admits a run of n identical requests against p: vectored via
+// BatchPolicy when p implements it, otherwise a serial Admit loop that
+// stops at the first denial. The loop preserves exact prefix semantics for
+// the clocked built-ins (token-bucket, measured) because their gates are
+// frozen at a fixed now — token refill and occupancy smoothing only move
+// when the clock does — so once one request in the batch is denied, every
+// later identical request would be denied too.
+func AdmitBatch(p Policy, now int64, flowID uint64, rate float64, class uint8, n int) (granted int, dec Decision) {
+	if bp, ok := p.(BatchPolicy); ok {
+		return bp.AdmitN(now, rate, class, n)
+	}
+	for i := 0; i < n; i++ {
+		d := p.Admit(now, flowID, rate, class)
+		if !d.Admit {
+			dec.Load = d.Load
+			return i, dec
+		}
+		dec.Admit, dec.Share = true, d.Share
+	}
+	return n, dec
+}
+
+// ReleaseBatch returns n claims of the same granted rate to p, vectored
+// when p implements BatchPolicy.
+func ReleaseBatch(p Policy, now int64, rate float64, n int) {
+	if bp, ok := p.(BatchPolicy); ok {
+		bp.ReleaseN(now, rate, n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		p.Release(now, rate)
+	}
+}
+
 // ClockUser is optionally implemented by policies whose decisions depend
 // on time (token refill, occupancy smoothing). Servers skip the per-request
 // clock read for policies that do not implement it or return false.

@@ -79,6 +79,36 @@ func (p *Tiered) Admit(now int64, flowID uint64, rate float64, class uint8) Deci
 	}
 }
 
+// AdmitN implements BatchPolicy: one CAS on the shared counter claims
+// min(n, limit−active) slots against the class's own threshold, and the
+// denied remainder lands in that class's denial tally exactly as n single
+// Admits would record it.
+func (p *Tiered) AdmitN(now int64, rate float64, class uint8, n int) (int, Decision) {
+	limit := p.limits[class%NumClasses]
+	for {
+		cur := p.active.Load()
+		j := limit - cur
+		if j <= 0 {
+			p.denials[class%NumClasses].Add(uint64(n))
+			return 0, Decision{Load: float64(cur)}
+		}
+		if int64(n) < j {
+			j = int64(n)
+		}
+		if p.active.CompareAndSwap(cur, cur+j) {
+			d := Decision{Admit: true, Share: p.share}
+			if int(j) < n {
+				p.denials[class%NumClasses].Add(uint64(n - int(j)))
+				d.Load = float64(cur + j)
+			}
+			return int(j), d
+		}
+	}
+}
+
+// ReleaseN implements BatchPolicy.
+func (p *Tiered) ReleaseN(now int64, rate float64, n int) { p.active.Add(-int64(n)) }
+
 // Release implements Policy.
 func (p *Tiered) Release(now int64, rate float64) { p.active.Add(-1) }
 

@@ -28,6 +28,9 @@ type Client struct {
 	// array would escape through the net.Conn interface call; these keep
 	// the steady-state round trip at zero allocations.
 	wbuf, rbuf [FrameSize]byte
+	// bbuf is ReserveBatch's reusable encode buffer (header + body frames
+	// in one write), grown on first use, guarded by mu.
+	bbuf []byte
 	// udp, when non-nil, switches round trips to datagram mode with the
 	// given retransmit parameters.
 	udp *UDPConfig
@@ -355,6 +358,64 @@ func (c *Client) reserve(ctx context.Context, flowID uint64, bandwidth float64, 
 	default:
 		return false, 0, true, fmt.Errorf("resv: reserve flow %d: unexpected %s reply", flowID, reply.Type)
 	}
+}
+
+// ReserveBatch ships up to MaxBatch reservation ops — MsgRequest and
+// MsgTeardown frames, processed by the server strictly in order — as one
+// multi-reserve frame sequence and one reply: a single round trip where N
+// single ops would pay N. Bit i of the verdict reports op i (granted /
+// torn down); share is the server's count-mode worst-case share, 0 in
+// bandwidth mode. Stream transports only: the datagram transport has no
+// retransmit story for partially-applied batches, so it refuses.
+func (c *Client) ReserveBatch(ctx context.Context, ops []Frame) (BatchVerdict, float64, error) {
+	if len(ops) < 1 || len(ops) > MaxBatch {
+		return 0, 0, fmt.Errorf("resv: batch of %d ops (want 1..%d)", len(ops), MaxBatch)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.udp != nil {
+		return 0, 0, fmt.Errorf("resv: batched reserve needs a stream transport")
+	}
+	deadline, _ := ctx.Deadline()
+	if err := c.nc.SetDeadline(deadline); err != nil {
+		return 0, 0, fmt.Errorf("resv: set deadline: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	var t0 time.Time
+	if c.metrics != nil {
+		t0 = time.Now()
+	}
+	if c.bbuf == nil {
+		c.bbuf = make([]byte, 0, (MaxBatch+1)*FrameSize)
+	}
+	buf := AppendFrame(c.bbuf[:0], BatchHeader(len(ops)))
+	for _, f := range ops {
+		buf = AppendFrame(buf, f)
+	}
+	c.bbuf = buf[:0]
+	fail := func(err error) (BatchVerdict, float64, error) {
+		if c.metrics != nil {
+			c.metrics.observeBatch(ops, 0, 0, err)
+		}
+		return 0, 0, err
+	}
+	if _, err := c.nc.Write(buf); err != nil {
+		return fail(fmt.Errorf("resv: send batch: %w", err))
+	}
+	reply, err := c.readFrame()
+	if err != nil {
+		return fail(fmt.Errorf("resv: awaiting batch reply: %w", err))
+	}
+	if reply.Type != MsgReserveBatchReply {
+		return fail(fmt.Errorf("resv: batch reserve: unexpected %s reply", reply.Type))
+	}
+	v := BatchVerdict(reply.FlowID)
+	if c.metrics != nil {
+		c.metrics.observeBatch(ops, v, time.Since(t0), nil)
+	}
+	return v, reply.Value, nil
 }
 
 // Teardown releases flowID's reservation.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"sync"
 )
 
@@ -60,6 +61,20 @@ const (
 	// never replies — so it can piggyback on any stream the sender already
 	// writes (MuxClient.Post) without disturbing request/reply matching.
 	MsgGossip
+	// MsgReserveBatch opens a batched admission request: FlowID carries the
+	// body length N (1..MaxBatch) and the header is followed by exactly N
+	// ordinary body frames, each a MsgRequest or MsgTeardown, processed in
+	// order. The server answers the whole batch with one
+	// MsgReserveBatchReply. Batch framing is stream-only: a datagram-mode
+	// server rejects the header with ErrCodeBadRequest, because the body
+	// would span packets.
+	MsgReserveBatch
+	// MsgReserveBatchReply answers a MsgReserveBatch: FlowID is a
+	// BatchVerdict bitmap (bit i set ⇔ body op i granted / torn down OK)
+	// and Value carries the count-mode worst-case share C/kmax for granted
+	// requests (0 in bandwidth mode, where the granted rate is the
+	// requested rate).
+	MsgReserveBatchReply
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +102,10 @@ func (t MsgType) String() string {
 		return "ERROR"
 	case MsgGossip:
 		return "GOSSIP"
+	case MsgReserveBatch:
+		return "RESERVE-BATCH"
+	case MsgReserveBatchReply:
+		return "RESERVE-BATCH-REPLY"
 	default:
 		return fmt.Sprintf("MSG(%d)", uint8(t))
 	}
@@ -132,7 +151,7 @@ type Frame struct {
 
 const (
 	// classShift positions the 2-bit class field in the type byte. MsgType
-	// needs 4 bits (1..10), leaving the top bits free; bits 4–5 stay
+	// needs 4 bits (1..13), leaving the top bits free; bits 4–5 stay
 	// reserved-zero for future types.
 	classShift = 6
 	// typeMask extracts the message type from the type byte.
@@ -172,7 +191,7 @@ func DecodeFrame(b []byte) (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, b[2], protocolVersion)
 	}
 	t := MsgType(b[3] & typeMask)
-	if t < MsgRequest || t > MsgGossip {
+	if t < MsgRequest || t > MsgReserveBatchReply {
 		return Frame{}, fmt.Errorf("%w: unknown type %d", ErrBadFrame, b[3]&typeMask)
 	}
 	return Frame{
@@ -295,6 +314,87 @@ func WriteFrame(w io.Writer, f Frame) error {
 	frameBufPool.Put(buf)
 	return err
 }
+
+// MaxBatch is the largest body a MsgReserveBatch may carry. 64 ops keep
+// the reply verdict an exact one-frame bitmap (one bit per op in the
+// reply's FlowID) and match the mux transport's write-coalescing window,
+// so a full batch still flushes as a single vectored write.
+const MaxBatch = 64
+
+// BatchVerdict is the per-op outcome bitmap a MsgReserveBatchReply
+// carries in its FlowID field: bit i is set iff body op i succeeded
+// (a MsgRequest was granted, a MsgTeardown found its flow).
+type BatchVerdict uint64
+
+// Granted reports the outcome of body op i.
+func (v BatchVerdict) Granted(i int) bool { return v&(1<<uint(i)) != 0 }
+
+// Count is the number of successful ops in the batch.
+func (v BatchVerdict) Count() int { return bits.OnesCount64(uint64(v)) }
+
+// BatchHeader builds the MsgReserveBatch header frame for an n-op body.
+func BatchHeader(n int) Frame {
+	return Frame{Type: MsgReserveBatch, FlowID: uint64(n)}
+}
+
+// BatchCollector accumulates the body of an in-flight MsgReserveBatch.
+// Body frames may span read boundaries, so stream loops keep one collector
+// per connection: Begin on the header, Add on each subsequent frame until
+// it reports done, then Ops for the completed body. The zero value is an
+// idle collector.
+type BatchCollector struct {
+	want int
+	n    int
+	ops  [MaxBatch]Frame
+}
+
+// Active reports whether a batch header has been seen and its body is
+// still incomplete.
+func (c *BatchCollector) Active() bool { return c.want > 0 }
+
+// Begin starts collecting the body of header, which must be a
+// MsgReserveBatch frame. It rejects a nested batch and a body length
+// outside 1..MaxBatch.
+func (c *BatchCollector) Begin(header Frame) error {
+	if c.want > 0 {
+		return fmt.Errorf("%w: batch header inside a batch body", ErrBadFrame)
+	}
+	n := header.FlowID
+	if n < 1 || n > MaxBatch {
+		return fmt.Errorf("%w: batch length %d outside [1, %d]", ErrBadFrame, n, MaxBatch)
+	}
+	c.want = int(n)
+	c.n = 0
+	return nil
+}
+
+// Add appends one body frame. Only MsgRequest and MsgTeardown may appear
+// in a batch body; anything else aborts the batch (the collector resets,
+// dropping the collected prefix) and returns the error. done reports that
+// the body is complete and Ops may be read.
+func (c *BatchCollector) Add(f Frame) (done bool, err error) {
+	if c.want == 0 {
+		return false, fmt.Errorf("%w: batch body frame outside a batch", ErrBadFrame)
+	}
+	if f.Type != MsgRequest && f.Type != MsgTeardown {
+		c.Reset()
+		return false, fmt.Errorf("%w: %s frame in a batch body", ErrBadFrame, f.Type)
+	}
+	c.ops[c.n] = f
+	c.n++
+	if c.n == c.want {
+		c.want = 0
+		return true, nil
+	}
+	return false, nil
+}
+
+// Ops returns the completed body after Add reported done. The slice
+// aliases the collector's buffer and is valid until the next Begin.
+func (c *BatchCollector) Ops() []Frame { return c.ops[:c.n] }
+
+// Reset discards any partially collected body.
+func (c *BatchCollector) Reset() { c.want, c.n = 0, 0 }
 
 // ReadFrame reads exactly one frame from r.
 func ReadFrame(r io.Reader) (Frame, error) {

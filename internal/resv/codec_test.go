@@ -53,7 +53,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
 		t.Error("type 0 should fail")
 	}
-	bad[3] = uint8(MsgGossip) + 1
+	bad[3] = uint8(MsgReserveBatchReply) + 1
 	if _, err := DecodeFrame(bad); !errors.Is(err, ErrBadFrame) {
 		t.Error("type beyond range should fail")
 	}

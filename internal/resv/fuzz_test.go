@@ -63,6 +63,76 @@ func FuzzDecodeDatagram(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBatch exercises the batch framing state machine with
+// arbitrary frame streams: the collector must never panic, must accept a
+// header iff its body length is in [1, MaxBatch], must accept exactly
+// request/teardown body frames (anything else aborts the batch and drops
+// the collected prefix), and a completed body must surface exactly the
+// frames that were added, in order.
+func FuzzDecodeBatch(f *testing.F) {
+	clean := AppendFrame(nil, BatchHeader(2))
+	clean = AppendFrame(clean, Frame{Type: MsgRequest, FlowID: 1, Value: 1})
+	clean = AppendFrame(clean, Frame{Type: MsgTeardown, FlowID: 2})
+	f.Add(clean)                                                                // complete two-op body
+	f.Add(clean[:FrameSize+7])                                                  // header + torn body frame
+	f.Add(AppendFrame(nil, BatchHeader(MaxBatch)))                              // max-length header, body missing
+	f.Add(AppendFrame(nil, Frame{Type: MsgReserveBatch, FlowID: 0}))            // empty batch: rejected
+	f.Add(AppendFrame(nil, Frame{Type: MsgReserveBatch, FlowID: MaxBatch + 1})) // oversized: rejected
+	nested := AppendFrame(nil, BatchHeader(2))
+	nested = AppendFrame(nested, BatchHeader(1)) // header inside a body: aborts
+	f.Add(nested)
+	aborted := AppendFrame(nil, BatchHeader(2))
+	aborted = AppendFrame(aborted, Frame{Type: MsgRequest, FlowID: 3, Value: 1})
+	aborted = AppendFrame(aborted, Frame{Type: MsgStats}) // illegal body frame
+	f.Add(aborted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frames, _, _ := DecodeFrames(nil, data)
+		var bc BatchCollector
+		var want []Frame
+		for _, fr := range frames {
+			switch {
+			case bc.Active():
+				done, err := bc.Add(fr)
+				if err != nil {
+					if fr.Type == MsgRequest || fr.Type == MsgTeardown {
+						t.Fatalf("Add rejected a legal body frame %+v: %v", fr, err)
+					}
+					if bc.Active() {
+						t.Fatal("collector still active after aborting the batch")
+					}
+					want = nil
+					continue
+				}
+				want = append(want, fr)
+				if done {
+					ops := bc.Ops()
+					if len(ops) != len(want) {
+						t.Fatalf("completed body has %d ops, %d were added", len(ops), len(want))
+					}
+					for i, op := range ops {
+						w := want[i]
+						if op != w && (op.Value == op.Value || w.Value == w.Value) { // NaN-tolerant
+							t.Fatalf("op %d: collected %+v, added %+v", i, op, w)
+						}
+					}
+					want = nil
+				} else if len(want) >= int(MaxBatch) {
+					t.Fatalf("collector never completed after %d ops", len(want))
+				}
+			case fr.Type == MsgReserveBatch:
+				err := bc.Begin(fr)
+				legal := fr.FlowID >= 1 && fr.FlowID <= MaxBatch
+				if (err == nil) != legal {
+					t.Fatalf("Begin(len=%d): err=%v, want accept iff length in [1, %d]", fr.FlowID, err, MaxBatch)
+				}
+				if err == nil && !bc.Active() {
+					t.Fatal("collector idle right after a legal header")
+				}
+			}
+		}
+	})
+}
+
 // FuzzDecodeFrames exercises the multi-frame decoder: it must never panic,
 // must agree with frame-at-a-time DecodeFrame on every prefix, and must
 // leave a remainder that is exactly the undecoded tail (partial trailing

@@ -203,6 +203,55 @@ func (m *ClientMetrics) observe(req, reply Frame, rtt time.Duration, err error) 
 	}
 }
 
+// observeBatch classifies one batch round trip op by op, so client
+// tallies stay in exact agreement with the server's per-op counters: a
+// request op's verdict bit maps to a grant or denial, a teardown op's to
+// a teardown or error. (A duplicate request also clears its bit — the
+// server counts it as an error — but well-behaved clients never send
+// duplicates, so the grant/denial equality the load harness checks
+// holds exactly.)
+func (m *ClientMetrics) observeBatch(ops []Frame, v BatchVerdict, rtt time.Duration, err error) {
+	var reqs uint64
+	for _, f := range ops {
+		if f.Type == MsgRequest {
+			reqs++
+		}
+	}
+	if reqs > 0 {
+		m.Requests.Add(reqs)
+	}
+	if err != nil {
+		m.Failures.Inc()
+		return
+	}
+	m.RTT.Record(uint64(rtt))
+	var grants, denials, teardowns, errs uint64
+	for i, f := range ops {
+		switch ok := v.Granted(i); {
+		case f.Type == MsgRequest && ok:
+			grants++
+		case f.Type == MsgRequest:
+			denials++
+		case ok:
+			teardowns++
+		default:
+			errs++
+		}
+	}
+	if grants > 0 {
+		m.Grants.Add(grants)
+	}
+	if denials > 0 {
+		m.Denials.Add(denials)
+	}
+	if teardowns > 0 {
+		m.Teardowns.Add(teardowns)
+	}
+	if errs > 0 {
+		m.Errors.Add(errs)
+	}
+}
+
 // TraceKind tags a TraceEvent with the admission-path decision it reports.
 type TraceKind uint8
 

@@ -42,9 +42,25 @@ type muxCall struct {
 	done      chan struct{}
 }
 
+// muxSend is one send-queue item: a single frame, or a complete batch
+// whose header and body frames must stay contiguous on the wire (a batch
+// is one item, so another sender's frame can never land inside it).
+type muxSend struct {
+	f     Frame
+	batch *muxBatch // nil for single frames
+}
+
+// muxBatch is a pooled, self-contained copy of a batch's frames (header +
+// body). The copy is taken at enqueue time so the caller may return (e.g.
+// on context cancellation) while the writer still owns the buffer.
+type muxBatch struct {
+	n      int
+	frames [MaxBatch + 1]Frame
+}
+
 // MuxClient multiplexes many flows' requests over one stream connection.
 // Methods are safe for concurrent use and do not serialize on each other:
-// requests from different goroutines coalesce into shared vectored writes.
+// requests from different goroutines coalesce into shared batched writes.
 // At most one request may be in flight per flow ID at a time.
 type MuxClient struct {
 	nc      net.Conn
@@ -53,13 +69,26 @@ type MuxClient struct {
 	mu      sync.Mutex
 	pending map[uint64]*muxCall // in-flight flow-scoped requests
 	statsq  []*muxCall          // in-flight stats requests, send order
+	batchq  []*muxCall          // in-flight batch requests, send order
 	closed  bool
 	err     error // terminal error, set once with closed
 
-	sendq chan Frame
-	dead  chan struct{} // closed by fail; unblocks senders and the writer
-	pool  sync.Pool
-	wg    sync.WaitGroup
+	// batchMu serializes batch senders across [register in batchq, enqueue
+	// on sendq], so batchq order always matches wire order — the FIFO reply
+	// matching depends on it. fail never takes it, so a sender blocked on a
+	// full sendq under batchMu is still unblocked by m.dead.
+	batchMu sync.Mutex
+
+	// onGossip, if non-nil, receives one-way MsgGossip frames the server
+	// piggybacks on this connection's replies (cluster plane). Set via
+	// OnGossip before issuing requests; called from the reader goroutine.
+	onGossip func(Frame)
+
+	sendq     chan muxSend
+	dead      chan struct{} // closed by fail; unblocks senders and the writer
+	pool      sync.Pool
+	batchPool sync.Pool
+	wg        sync.WaitGroup
 }
 
 // NewMuxClient wraps an established stream connection in a multiplexing
@@ -69,12 +98,13 @@ func NewMuxClient(nc net.Conn) *MuxClient {
 	m := &MuxClient{
 		nc:      nc,
 		pending: make(map[uint64]*muxCall),
-		sendq:   make(chan Frame, maxMuxBatch),
+		sendq:   make(chan muxSend, maxMuxBatch),
 		dead:    make(chan struct{}),
 	}
 	m.pool.New = func() interface{} {
 		return &muxCall{done: make(chan struct{}, 1)}
 	}
+	m.batchPool.New = func() interface{} { return new(muxBatch) }
 	m.wg.Add(2)
 	go m.writer()
 	go m.reader()
@@ -115,8 +145,8 @@ func (m *MuxClient) fail(err error) {
 	}
 	m.closed = true
 	m.err = err
-	pending, statsq := m.pending, m.statsq
-	m.pending, m.statsq = nil, nil
+	pending, statsq, batchq := m.pending, m.statsq, m.batchq
+	m.pending, m.statsq, m.batchq = nil, nil, nil
 	close(m.dead)
 	m.mu.Unlock()
 	for _, call := range pending {
@@ -127,56 +157,60 @@ func (m *MuxClient) fail(err error) {
 		call.err = err
 		call.done <- struct{}{}
 	}
+	for _, call := range batchq {
+		call.err = err
+		call.done <- struct{}{}
+	}
 }
 
-// writer drains sendq into vectored writes: every frame queued by the time
-// the writer gets scheduled goes out in one writev (one plain write when
-// only a single frame is waiting — net.Buffers with one element degrades
-// to that anyway, minus the slice bookkeeping).
+// writer drains sendq into batched writes: every item queued by the time
+// the writer gets scheduled is encoded into one contiguous buffer and goes
+// out in a single write syscall. The buffer is reused across flushes, so
+// the steady state allocates nothing; a batch item's pooled frame copy is
+// recycled as soon as it is encoded.
 func (m *MuxClient) writer() {
 	defer m.wg.Done()
-	slab := make([]byte, maxMuxBatch*FrameSize)
-	iov := make(net.Buffers, 0, maxMuxBatch)
+	buf := make([]byte, 0, (MaxBatch+1)*FrameSize)
 	for {
-		var f Frame
+		var s muxSend
 		select {
-		case f = <-m.sendq:
+		case s = <-m.sendq:
 		case <-m.dead:
 			return
 		}
-		putFrame((*[FrameSize]byte)(slab[0:FrameSize]), f)
-		n := 1
+		buf = m.appendSend(buf[:0], s)
 	coalesce:
-		for n < maxMuxBatch {
+		for n := 1; n < maxMuxBatch; n++ {
 			select {
-			case f = <-m.sendq:
-				putFrame((*[FrameSize]byte)(slab[n*FrameSize:(n+1)*FrameSize]), f)
-				n++
+			case s = <-m.sendq:
+				buf = m.appendSend(buf, s)
 			default:
 				break coalesce
 			}
 		}
-		var err error
-		if n == 1 {
-			_, err = m.nc.Write(slab[:FrameSize])
-		} else {
-			iov = iov[:0]
-			for i := 0; i < n; i++ {
-				iov = append(iov, slab[i*FrameSize:(i+1)*FrameSize])
-			}
-			bufs := iov
-			_, err = bufs.WriteTo(m.nc)
-		}
-		if err != nil {
+		if _, err := m.nc.Write(buf); err != nil {
 			m.fail(fmt.Errorf("resv: mux write: %w", err))
 			return
 		}
 	}
 }
 
+// appendSend encodes one send item into buf and recycles its batch copy.
+func (m *MuxClient) appendSend(buf []byte, s muxSend) []byte {
+	if s.batch == nil {
+		return AppendFrame(buf, s.f)
+	}
+	for i := 0; i < s.batch.n; i++ {
+		buf = AppendFrame(buf, s.batch.frames[i])
+	}
+	m.batchPool.Put(s.batch)
+	return buf
+}
+
 // reader fans replies back out: flow-scoped replies to their pending call
-// by FlowID, stats replies to the statsq head. A reply with no waiter — a
-// call canceled between send and reply — is dropped on the floor.
+// by FlowID, stats and batch replies to their FIFO heads, one-way gossip
+// frames to the OnGossip hook. A reply with no waiter — a call canceled
+// between send and reply — is dropped on the floor.
 func (m *MuxClient) reader() {
 	defer m.wg.Done()
 	br := bufio.NewReaderSize(m.nc, maxMuxBatch*FrameSize)
@@ -186,22 +220,22 @@ func (m *MuxClient) reader() {
 			m.fail(fmt.Errorf("resv: mux read: %w", err))
 			return
 		}
+		if reply.Type == MsgGossip {
+			// One-way: never matches a call, and must not be mistaken for a
+			// flow-scoped reply (its FlowID packs link index and version).
+			if m.onGossip != nil {
+				m.onGossip(reply)
+			}
+			continue
+		}
 		m.mu.Lock()
 		var call *muxCall
-		if reply.Type == MsgStatsReply {
-			if len(m.statsq) > 0 {
-				call = m.statsq[0]
-				m.statsq[0] = nil
-				m.statsq = m.statsq[1:]
-				if call.abandoned {
-					// The waiter is gone; the slot existed only to keep the
-					// FIFO aligned. Recycle the call here.
-					call.abandoned = false
-					m.pool.Put(call)
-					call = nil
-				}
-			}
-		} else {
+		switch reply.Type {
+		case MsgStatsReply:
+			call = popFIFO(&m.statsq, &m.pool)
+		case MsgReserveBatchReply:
+			call = popFIFO(&m.batchq, &m.pool)
+		default:
 			if c, ok := m.pending[reply.FlowID]; ok {
 				delete(m.pending, reply.FlowID)
 				call = c
@@ -213,6 +247,31 @@ func (m *MuxClient) reader() {
 			call.done <- struct{}{}
 		}
 	}
+}
+
+// popFIFO consumes the head of a send-ordered reply queue (statsq or
+// batchq). An abandoned slot — its waiter gave up — is recycled here and
+// reported as no waiter. Caller holds m.mu.
+func popFIFO(q *[]*muxCall, pool *sync.Pool) *muxCall {
+	s := *q
+	if len(s) == 0 {
+		return nil
+	}
+	call := s[0]
+	// Shift rather than re-slice: the queue is at most a few entries deep,
+	// and keeping the backing array's base lets appends reuse it forever —
+	// (*q)[1:] would bleed capacity off the front and reallocate steadily.
+	copy(s, s[1:])
+	s[len(s)-1] = nil
+	*q = s[:len(s)-1]
+	if call.abandoned {
+		// The waiter is gone; the slot existed only to keep the FIFO
+		// aligned. Recycle the call here.
+		call.abandoned = false
+		pool.Put(call)
+		return nil
+	}
+	return call
 }
 
 // roundTrip registers a call, queues the frame, and waits for its reply or
@@ -247,7 +306,7 @@ func (m *MuxClient) roundTrip(ctx context.Context, req Frame) (Frame, error) {
 	m.mu.Unlock()
 
 	select {
-	case m.sendq <- req:
+	case m.sendq <- muxSend{f: req}:
 	case <-m.dead:
 		// fail already delivered the error into the call.
 		<-call.done
@@ -276,27 +335,160 @@ func (m *MuxClient) roundTrip(ctx context.Context, req Frame) (Frame, error) {
 	}
 }
 
-// Post queues a frame for the next vectored write without registering a
+// Post queues a frame for the next batched write without registering a
 // reply rendezvous — fire-and-forget, for one-way frames (MsgGossip) that
 // the peer never answers. The frame coalesces into whatever request batch
 // the writer flushes next, so piggybacked gossip costs its 20 bytes and no
 // extra syscall. Post never blocks on a full send queue: a queue the writer
 // is not draining means the connection is stalled or dead, and gossip is
-// refreshed continuously — dropping one snapshot is always safe.
-func (m *MuxClient) Post(f Frame) error {
+// refreshed continuously — dropping one snapshot is always safe. queued
+// reports whether the frame actually made the queue, so senders tracking
+// what the peer has seen (gossip suppression) don't mark a dropped
+// snapshot as delivered.
+func (m *MuxClient) Post(f Frame) (queued bool, err error) {
 	select {
 	case <-m.dead:
 		m.mu.Lock()
 		err := m.err
 		m.mu.Unlock()
-		return fmt.Errorf("resv: mux: client closed: %w", err)
+		return false, fmt.Errorf("resv: mux: client closed: %w", err)
 	default:
 	}
 	select {
-	case m.sendq <- f:
+	case m.sendq <- muxSend{f: f}:
+		return true, nil
 	default: // queue full: drop, the next snapshot supersedes this one
+		return false, nil
 	}
-	return nil
+}
+
+// OnGossip installs a hook receiving one-way MsgGossip frames arriving on
+// this connection (reply-piggybacked occupancy from a cluster peer). The
+// hook runs on the reader goroutine and must be fast. Not safe to call
+// concurrently with traffic — set it right after NewMuxClient.
+func (m *MuxClient) OnGossip(h func(Frame)) { m.onGossip = h }
+
+// ReserveBatch submits ops — 1..MaxBatch body frames, each a MsgRequest or
+// MsgTeardown — as one MsgReserveBatch and returns the per-op verdict
+// bitmap plus the count-mode grant share (0 in bandwidth mode). Ops are
+// processed by the server in order with exact partial-grant semantics at
+// the admission boundary; bit i of the verdict reports op i's outcome.
+// The ops slice is copied before this call returns a cancellation, so the
+// caller may reuse it freely.
+func (m *MuxClient) ReserveBatch(ctx context.Context, ops []Frame) (BatchVerdict, float64, error) {
+	n := len(ops)
+	if n < 1 || n > MaxBatch {
+		return 0, 0, fmt.Errorf("resv: mux: batch of %d ops outside [1, %d]", n, MaxBatch)
+	}
+	call := m.pool.Get().(*muxCall)
+	call.reply, call.err = Frame{}, nil
+	b := m.batchPool.Get().(*muxBatch)
+	b.frames[0] = BatchHeader(n)
+	copy(b.frames[1:], ops)
+	b.n = n + 1
+	var t0 time.Time
+	if m.metrics != nil {
+		t0 = time.Now()
+	}
+
+	// Register and enqueue under batchMu so batchq order matches wire
+	// order even with concurrent batch senders — the reader matches batch
+	// replies strictly FIFO.
+	m.batchMu.Lock()
+	m.mu.Lock()
+	if m.closed {
+		err := m.err
+		m.mu.Unlock()
+		m.batchMu.Unlock()
+		m.pool.Put(call)
+		m.batchPool.Put(b)
+		return 0, 0, fmt.Errorf("resv: mux: client closed: %w", err)
+	}
+	m.batchq = append(m.batchq, call)
+	m.mu.Unlock()
+
+	select {
+	case m.sendq <- muxSend{batch: b}:
+		m.batchMu.Unlock()
+	case <-m.dead:
+		m.batchMu.Unlock()
+		m.batchPool.Put(b)
+		// fail already delivered the error into the call.
+		<-call.done
+		return m.finishBatch(ops, call, t0)
+	case <-ctx.Done():
+		m.batchMu.Unlock()
+		m.batchPool.Put(b)
+		m.withdrawBatch(call)
+		if m.metrics != nil {
+			m.metrics.observeBatch(ops, 0, 0, ctx.Err())
+		}
+		return 0, 0, ctx.Err()
+	}
+
+	select {
+	case <-call.done:
+		return m.finishBatch(ops, call, t0)
+	case <-ctx.Done():
+		if m.abandonBatch(call) {
+			if m.metrics != nil {
+				m.metrics.observeBatch(ops, 0, 0, ctx.Err())
+			}
+			return 0, 0, ctx.Err()
+		}
+		// Delivery raced the cancellation; the reply is here — use it.
+		<-call.done
+		return m.finishBatch(ops, call, t0)
+	}
+}
+
+// finishBatch consumes a delivered batch call.
+func (m *MuxClient) finishBatch(ops []Frame, call *muxCall, t0 time.Time) (BatchVerdict, float64, error) {
+	reply, err := call.reply, call.err
+	m.pool.Put(call)
+	if err == nil && reply.Type != MsgReserveBatchReply {
+		err = fmt.Errorf("resv: mux: unexpected %s reply to a batch", reply.Type)
+	}
+	v := BatchVerdict(reply.FlowID)
+	if err != nil {
+		v = 0
+	}
+	if m.metrics != nil {
+		m.metrics.observeBatch(ops, v, time.Since(t0), err)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return v, reply.Value, nil
+}
+
+// withdrawBatch removes a batch call whose frames were never sent. Caller
+// does not hold m.mu.
+func (m *MuxClient) withdrawBatch(call *muxCall) {
+	m.mu.Lock()
+	for i, c := range m.batchq {
+		if c == call {
+			m.batchq = append(m.batchq[:i], m.batchq[i+1:]...)
+			break
+		}
+	}
+	m.mu.Unlock()
+	m.pool.Put(call)
+}
+
+// abandonBatch gives up on a sent batch call, keeping its FIFO slot for
+// alignment (the reader recycles it). It reports false when delivery
+// already happened.
+func (m *MuxClient) abandonBatch(call *muxCall) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.batchq {
+		if c == call {
+			call.abandoned = true
+			return true
+		}
+	}
+	return false
 }
 
 // finish consumes a delivered call: record metrics, recycle, return.

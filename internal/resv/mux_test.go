@@ -293,8 +293,9 @@ func TestMuxPost(t *testing.T) {
 	m := pipeMux(t, s)
 	c := ctx(t)
 	for i := 0; i < 8; i++ {
-		if err := m.Post(Frame{Type: MsgGossip, FlowID: uint64(i) << 48, Value: float64(i)}); err != nil {
-			t.Fatalf("post %d: %v", i, err)
+		queued, err := m.Post(Frame{Type: MsgGossip, FlowID: uint64(i) << 48, Value: float64(i)})
+		if err != nil || !queued {
+			t.Fatalf("post %d: queued=%v err=%v", i, queued, err)
 		}
 		ok, _, err := m.Reserve(c, uint64(i+1), 1)
 		if err != nil || !ok {
@@ -309,7 +310,7 @@ func TestMuxPost(t *testing.T) {
 		}
 	}
 	_ = m.Close()
-	if err := m.Post(Frame{Type: MsgGossip}); err == nil {
+	if _, err := m.Post(Frame{Type: MsgGossip}); err == nil {
 		t.Fatal("post on a closed client should fail")
 	}
 }

@@ -420,6 +420,7 @@ func (s *Server) handle(nc net.Conn) {
 	wbuf := make([]byte, 0, 1024)
 	var frames []Frame
 	var bs batchStats
+	var bc BatchCollector
 	for {
 		// Block until at least one full frame is buffered.
 		if _, err := br.Peek(FrameSize); err != nil {
@@ -444,7 +445,36 @@ func (s *Server) handle(nc net.Conn) {
 		// clock reads amortize over every frame the batch coalesced.
 		t0 := time.Now()
 		for _, f := range frames {
-			reply := s.dispatch(c, f, &bs)
+			// A batch body may span read boundaries, so the collector is
+			// per-connection state: the header opens it, body frames fill
+			// it, and only a completed body dispatches (as one vectored
+			// admission answered by one bitmap reply).
+			var reply Frame
+			switch {
+			case bc.Active():
+				done, berr := bc.Add(f)
+				if berr != nil {
+					// The collected prefix is dropped un-admitted; the batch
+					// fails as a whole and the offending frame is then
+					// served on its own terms.
+					wbuf = AppendFrame(wbuf, Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)})
+					bs.errs++
+					reply = s.dispatch(c, f, &bs)
+				} else if done {
+					reply = s.dispatchBatch(c, bc.Ops(), &bs)
+				} else {
+					continue
+				}
+			case f.Type == MsgReserveBatch:
+				if berr := bc.Begin(f); berr != nil {
+					reply = Frame{Type: MsgError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest)}
+					bs.errs++
+				} else {
+					continue
+				}
+			default:
+				reply = s.dispatch(c, f, &bs)
+			}
 			wbuf = AppendFrame(wbuf, reply)
 			if len(wbuf) >= writeFlushThreshold {
 				if !s.flush(nc, &wbuf) {
@@ -512,6 +542,97 @@ func (s *Server) dispatch(c *conn, f Frame, bs *batchStats) Frame {
 		bs.dups++
 	}
 	return reply
+}
+
+// dispatchBatch serves one completed MsgReserveBatch body: runs of
+// consecutive requests with identical rate and class are admitted through
+// one vectored policy claim (policy.AdmitBatch — a single CAS for the
+// built-in count/bandwidth/tiered policies), teardown ops go through the
+// ordinary teardown path in order, and the whole body is answered with a
+// single bitmap reply. Ops are processed in body order, so a batch is
+// semantically identical to its ops sent one frame at a time — only the
+// admission arithmetic and the reply framing are amortized.
+func (s *Server) dispatchBatch(c *conn, ops []Frame, bs *batchStats) Frame {
+	var verdict BatchVerdict
+	share := 0.0
+	for i := 0; i < len(ops); {
+		f := ops[i]
+		if f.Type == MsgTeardown {
+			reply := s.teardown(c, f)
+			bs.count(f, reply)
+			if reply.Type == MsgTeardownOK {
+				verdict |= 1 << uint(i)
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(ops) && ops[j].Type == MsgRequest && ops[j].Value == f.Value && ops[j].Class == f.Class {
+			j++
+		}
+		if sh := s.reserveRun(c, ops[i:j], i, &verdict, bs); sh != 0 {
+			share = sh
+		}
+		i = j
+	}
+	return Frame{Type: MsgReserveBatchReply, FlowID: uint64(verdict), Value: share}
+}
+
+// reserveRun admits one run of identical batched requests (same rate and
+// class), setting each installed op's bit in verdict. The policy grants a
+// prefix of the run in one claim; a granted op whose flow ID is already
+// installed rolls its single claim back and keeps its bit clear (batch
+// framing is stream-only, so there is no datagram-retransmit re-grant
+// case — a duplicate in a batch is simply an error outcome). It returns
+// the count-mode grant share when anything was installed, 0 otherwise.
+func (s *Server) reserveRun(c *conn, run []Frame, base int, verdict *BatchVerdict, bs *batchStats) float64 {
+	n := len(run)
+	bs.reserves += uint64(n)
+	v := run[0].Value
+	if !(v >= 0) || math.IsInf(v, 0) || (s.byBandwidth && !(v > 0)) {
+		bs.errs += uint64(n)
+		if s.Trace != nil {
+			for _, f := range run {
+				s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeBadRequest), Active: s.pol.Active()})
+			}
+		}
+		return 0
+	}
+	rate := 0.0
+	if s.byBandwidth {
+		rate = v
+	}
+	granted, dec := policy.AdmitBatch(s.pol, s.polNow(), run[0].FlowID, v, run[0].Class, n)
+	installed := 0
+	for i := 0; i < granted; i++ {
+		f := run[i]
+		if st := s.install(c, f.FlowID, rate); st.kind != installedNew {
+			s.pol.Release(s.polNow(), rate) // roll this op's claim back
+			bs.errs++
+			if s.Trace != nil {
+				s.Trace(TraceEvent{Kind: TraceError, FlowID: f.FlowID, Value: float64(ErrCodeDuplicateFlow), Active: s.pol.Active()})
+			}
+			continue
+		}
+		*verdict |= 1 << uint(base+i)
+		installed++
+		bs.grants++
+		if s.Trace != nil {
+			s.Trace(TraceEvent{Kind: TraceGrant, FlowID: f.FlowID, Value: dec.Share, Active: s.pol.Active()})
+		}
+	}
+	if granted < n {
+		bs.denials += uint64(n - granted)
+		if s.Trace != nil {
+			for _, f := range run[granted:] {
+				s.Trace(TraceEvent{Kind: TraceDeny, FlowID: f.FlowID, Value: dec.Load, Active: s.pol.Active()})
+			}
+		}
+	}
+	if installed == 0 || s.byBandwidth {
+		return 0
+	}
+	return dec.Share
 }
 
 // reserve runs admission control for one request. dup reports that the
