@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-diff bench-server bench-cluster figures examples cover cover-gate clean
+.PHONY: all build vet test race check workload-check bench bench-diff bench-server bench-cluster figures examples cover cover-gate clean
 
 # Benchmarks the regression gate enforces (see bench-diff): the simulator
 # validation runs, the enforcement loop, the SCFQ hot path, the
@@ -28,11 +28,11 @@ BENCH_FLOOR = BenchmarkServerHighConcurrency=req/s:20000,BenchmarkServerHighConc
 # Packages with concurrency worth racing: the single source of truth for
 # both `make race` and CI (which calls `make race`), so the two can never
 # drift apart again.
-RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/policy/ ./internal/search/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ ./internal/cluster/ ./cmd/beqos/ .
+RACE_PKGS = ./internal/core/ ./internal/resv/ ./internal/policy/ ./internal/search/ ./internal/loadgen/ ./internal/sim/ ./internal/sched/ ./internal/sweep/ ./internal/obs/ ./internal/cluster/ ./internal/workload/ ./cmd/beqos/ .
 
 # Coverage floor (percent) enforced by cover-gate on the serving,
-# admission-policy, observability and cluster planes.
-COVER_PKGS  = ./internal/resv/ ./internal/policy/ ./internal/obs/ ./internal/cluster/
+# admission-policy, observability, cluster and workload planes.
+COVER_PKGS  = ./internal/resv/ ./internal/policy/ ./internal/obs/ ./internal/cluster/ ./internal/workload/
 COVER_FLOOR = 70
 
 all: build vet test
@@ -49,11 +49,18 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Full pre-merge gate: vet, the race-enabled test suite, and the policy
-# sweep smoke — a live two-cell grid cross-validated against the model.
-check: vet race
+# Full pre-merge gate: vet, the race-enabled test suite, the policy sweep
+# smoke — a live two-cell grid cross-validated against the model — plus
+# the workload spec corpus and a scenario-driven live-harness smoke.
+check: vet race workload-check
 	$(GO) test ./...
 	$(GO) run ./cmd/beqos sweep-policy -quick
+	$(GO) run ./cmd/beqos load -workload specs/baseline.spec
+
+# Validate the bundled workload spec corpus: every spec must parse (with
+# precise line-anchored errors when it does not).
+workload-check:
+	$(GO) run ./cmd/beqos workload specs
 
 # Run the benchmark suite and archive it as machine-readable JSON. Always
 # -benchmem, so every BENCH_core.json entry carries bytes/allocs.
@@ -64,9 +71,14 @@ bench:
 # Benchmark regression gate: rerun the gated benchmarks with -benchmem and
 # compare against the committed BENCH_core.json. Fails on >30% ns/op, any
 # allocs/op regression, or a BENCH_FLOOR metric below its minimum (see
-# cmd/benchjson -diff / -floor).
+# cmd/benchjson -diff / -floor). The raw run lands in bench_output.txt and
+# the comparison in bench_diff.txt — intermediate files, not a pipeline,
+# so a failed gate still leaves both behind for CI to upload and a flaky
+# cell can be diagnosed from the artifacts alone.
 bench-diff:
-	$(GO) test -bench='$(BENCH_GATE)' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -diff BENCH_core.json -gate '$(BENCH_GATE)' -floor '$(BENCH_FLOOR)'
+	@$(GO) test -bench='$(BENCH_GATE)' -benchmem -run '^$$' . > bench_output.txt || { cat bench_output.txt; exit 1; }
+	@$(GO) run ./cmd/benchjson -diff BENCH_core.json -gate '$(BENCH_GATE)' -floor '$(BENCH_FLOOR)' < bench_output.txt > bench_diff.txt; \
+	status=$$?; cat bench_diff.txt; exit $$status
 
 # Just the serving-plane suites (sync, pipelined, datagram, and the
 # 100k-flow high-concurrency churn; BEQOS_BENCH_1M=1 raises the standing
@@ -107,4 +119,4 @@ cover-gate:
 	fi
 
 clean:
-	rm -rf out test_output.txt bench_output.txt cover.out
+	rm -rf out test_output.txt bench_output.txt bench_diff.txt cover.out

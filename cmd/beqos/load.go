@@ -12,6 +12,7 @@ import (
 	"beqos/internal/report"
 	"beqos/internal/resv"
 	"beqos/internal/utility"
+	"beqos/internal/workload"
 )
 
 // cmdLoad runs the load harness against an admission server — in-process
@@ -37,6 +38,7 @@ func cmdLoad(args []string) error {
 	batch := fs.Int("batch", 0, "coalesce simultaneous protocol ops into multi-reserve bodies of up to n ops (stream transports; 0/1 = single-frame)")
 	udpLoss := fs.Int("udp-loss", 0, "drop every n-th datagram in each direction (udp transport; 0 = lossless)")
 	udpTimeout := fs.Duration("udp-timeout", 0, "datagram retransmit flight timeout (0 = 25ms)")
+	workloadPath := fs.String("workload", "", "drive the run from a declarative scenario spec file instead of the stationary Poisson pump (-mean/-hold/-duration/-warmup are ignored)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,10 +63,6 @@ func cmdLoad(args []string) error {
 		Capacity:     *capacity,
 		Util:         util,
 		Conns:        *conns,
-		Rate:         *mean / *hold,
-		Hold:         *hold,
-		Duration:     *duration,
-		Warmup:       *warmup,
 		Seed1:        *seed,
 		Seed2:        *seed ^ 0x9e3779b97f4a7c15,
 		DropEvery:    *dropEvery,
@@ -72,6 +70,20 @@ func cmdLoad(args []string) error {
 		UDPLossEvery: *udpLoss,
 		UDPTimeout:   *udpTimeout,
 		Batch:        *batch,
+	}
+	var scn *workload.Scenario
+	if *workloadPath != "" {
+		s, err := loadWorkloadSpec(*workloadPath)
+		if err != nil {
+			return err
+		}
+		scn = s
+		cfg.Workload = s
+	} else {
+		cfg.Rate = *mean / *hold
+		cfg.Hold = *hold
+		cfg.Duration = *duration
+		cfg.Warmup = *warmup
 	}
 	if *retries > 0 {
 		cfg.RetryAttempts = *retries + 1
@@ -87,8 +99,13 @@ func cmdLoad(args []string) error {
 		}
 		cfg.Server = srv
 	}
-	fmt.Printf("beqos: load harness vs %s (capacity %g, util %s, k̄ %g, %d conns, %s transport, seed %d)\n",
-		target, *capacity, util.Name(), *mean, cfg.Conns, cfg.Transport, *seed)
+	if scn != nil {
+		fmt.Printf("beqos: load harness vs %s (capacity %g, util %s, scenario %q: %d phases over %g time units, %d conns, %s transport, seed %d)\n",
+			target, *capacity, util.Name(), scn.Name, len(scn.Phases), scn.Duration(), cfg.Conns, cfg.Transport, *seed)
+	} else {
+		fmt.Printf("beqos: load harness vs %s (capacity %g, util %s, k̄ %g, %d conns, %s transport, seed %d)\n",
+			target, *capacity, util.Name(), *mean, cfg.Conns, cfg.Transport, *seed)
+	}
 
 	res, err := loadgen.Run(cfg)
 	if err != nil {
@@ -112,17 +129,68 @@ func cmdLoad(args []string) error {
 	}
 	fmt.Println()
 
-	load, err := dist.NewPoisson(*mean)
-	if err != nil {
-		return err
+	if scn != nil {
+		pt := report.NewTable("phase", "window", "flows", "deny rate", "overload", "mean load", "utility")
+		for _, ps := range res.Phases {
+			pt.AddRow(ps.Name, fmt.Sprintf("[%g, %g)", ps.Start, ps.End), ps.Flows,
+				fmt.Sprintf("%.4f±%.4f", ps.DenyRate, ps.DenySigma),
+				fmt.Sprintf("%.4f", ps.OverloadFraction),
+				fmt.Sprintf("%.1f", ps.MeanLoad),
+				fmt.Sprintf("%.4f", ps.MeanUtility))
+		}
+		if err := pt.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
 	}
-	m, err := core.New(load, util)
-	if err != nil {
-		return err
-	}
-	cr, err := loadgen.CrossCheck(res, m, *capacity)
-	if err != nil {
-		return err
+
+	// The oracle: per-phase checks against the model wherever the scenario
+	// is analytically tractable, the classic whole-run battery otherwise
+	// (and additionally when the whole scenario is one stationary segment).
+	var cr *loadgen.CheckReport
+	if scn != nil {
+		r, err := loadgen.CrossCheckWorkload(res, scn, util, *capacity)
+		if err != nil {
+			return err
+		}
+		cr = r
+		if smean, ok := scn.Stationary(); ok {
+			load, err := dist.NewPoisson(smean)
+			if err != nil {
+				return err
+			}
+			m, err := core.New(load, util)
+			if err != nil {
+				return err
+			}
+			classic, err := loadgen.CrossCheck(res, m, *capacity)
+			if err != nil {
+				return err
+			}
+			seen := map[string]bool{}
+			for _, ck := range cr.Checks {
+				seen[ck.Name] = true
+			}
+			for _, ck := range classic.Checks {
+				if !seen[ck.Name] {
+					cr.Checks = append(cr.Checks, ck)
+				}
+			}
+		}
+	} else {
+		load, err := dist.NewPoisson(*mean)
+		if err != nil {
+			return err
+		}
+		m, err := core.New(load, util)
+		if err != nil {
+			return err
+		}
+		r, err := loadgen.CrossCheck(res, m, *capacity)
+		if err != nil {
+			return err
+		}
+		cr = r
 	}
 	tb := report.NewTable("statistic", "measured", "model", "sigma", "z", "ok")
 	for _, ck := range cr.Checks {

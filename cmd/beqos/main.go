@@ -17,6 +17,9 @@
 //	beqos sweep-policy -policy tiered -mode live -k1 1,0.75,0.5
 //	beqos sweep-policy -policy token-bucket -k1 2,6,12 -k2 4,8
 //	beqos cluster -nodes 4 -capacity 32 -router two-choice -listen 127.0.0.1:4750
+//	beqos workload specs
+//	beqos sim     -capacity 120 -util adaptive -reserve -workload specs/flashcrowd.spec
+//	beqos load    -capacity 100 -util adaptive -workload specs/baseline.spec
 //
 // Every subcommand prints -h help. Loads: poisson, exponential, algebraic
 // (with -z). Utilities: rigid, adaptive, elastic.
@@ -60,6 +63,8 @@ func main() {
 		err = cmdSweepPolicy(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
+	case "workload":
+		err = cmdWorkload(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -99,6 +104,8 @@ Commands:
   cluster   run an N-node path-admission cluster in one process: per-node
             client listeners, two-choice or hashed path placement, gossiped
             link occupancy (-topology spec file or a generated -nodes ring)
+  workload  validate a corpus of declarative scenario spec files and
+            summarize each (sim and load consume them via -workload)
 
 Run 'beqos <command> -h' for flags.
 `)

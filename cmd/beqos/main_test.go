@@ -121,6 +121,51 @@ func TestCmdLoad(t *testing.T) {
 	}
 }
 
+func TestCmdWorkload(t *testing.T) {
+	specs := filepath.Join("..", "..", "specs")
+	if err := cmdWorkload([]string{specs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWorkload([]string{filepath.Join(specs, "baseline.spec")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWorkload([]string{}); err == nil {
+		t.Error("no arguments should fail")
+	}
+	if err := cmdWorkload([]string{filepath.Join(specs, "no-such.spec")}); err == nil {
+		t.Error("missing spec should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.spec")
+	if err := os.WriteFile(bad, []byte("scenario broken\nphase p 5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWorkload([]string{bad}); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
+func TestCmdSimWorkload(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "flashcrowd.spec")
+	if err := cmdSim([]string{"-capacity", "120", "-util", "adaptive", "-reserve", "-workload", spec}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSim([]string{"-workload", "no-such.spec"}); err == nil {
+		t.Error("missing spec should fail")
+	}
+}
+
+func TestCmdLoadWorkload(t *testing.T) {
+	// The per-phase oracle is live here: a nil error means every
+	// tractable phase sat within 3σ of the model.
+	spec := filepath.Join("..", "..", "specs", "baseline.spec")
+	if err := cmdLoad([]string{"-capacity", "100", "-util", "adaptive", "-workload", spec, "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLoad([]string{"-capacity", "100", "-workload", "no-such.spec"}); err == nil {
+		t.Error("missing spec should fail")
+	}
+}
+
 func TestCmdLoadOverTCP(t *testing.T) {
 	// The harness must also work against a server across a real socket,
 	// the way `beqos serve` + `beqos load -addr` compose.

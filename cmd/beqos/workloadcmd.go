@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"beqos/internal/report"
+	"beqos/internal/workload"
+)
+
+// loadWorkloadSpec reads and parses one scenario spec file.
+func loadWorkloadSpec(path string) (*workload.Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	scn, err := workload.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return scn, nil
+}
+
+// cmdWorkload validates a corpus of workload spec files and summarizes
+// each scenario. It exits non-zero when any spec fails to parse, so it
+// doubles as the CI spec-corpus gate (`make workload-check`).
+func cmdWorkload(args []string) error {
+	fs := flag.NewFlagSet("workload", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: beqos workload <spec-file-or-dir>...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("workload: need spec files or directories to validate")
+	}
+	var paths []string
+	for _, arg := range fs.Args() {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		found, err := filepath.Glob(filepath.Join(arg, "*.spec"))
+		if err != nil {
+			return err
+		}
+		if len(found) == 0 {
+			return fmt.Errorf("workload: no *.spec files in %s", arg)
+		}
+		paths = append(paths, found...)
+	}
+	sort.Strings(paths)
+
+	tb := report.NewTable("file", "scenario", "phases", "duration", "classes", "stationary")
+	var failures []string
+	for _, path := range paths {
+		scn, err := loadWorkloadSpec(path)
+		if err != nil {
+			failures = append(failures, err.Error())
+			fmt.Fprintf(os.Stderr, "beqos: %v\n", err)
+			continue
+		}
+		stationary := "no"
+		if mean, ok := scn.Stationary(); ok {
+			stationary = fmt.Sprintf("k̄ = %g", mean)
+		}
+		tb.AddRow(filepath.Base(path), scn.Name, len(scn.Phases), scn.Duration(), len(scn.Classes), stationary)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("workload: %d of %d specs failed to parse", len(failures), len(paths))
+	}
+	fmt.Printf("\n%d specs valid\n", len(paths))
+	return nil
+}

@@ -34,6 +34,7 @@ import (
 	"beqos/internal/rng"
 	"beqos/internal/sim"
 	"beqos/internal/utility"
+	"beqos/internal/workload"
 )
 
 // rpcTimeout bounds any single protocol round trip.
@@ -77,6 +78,18 @@ type Config struct {
 	// stationarity.
 	Duration float64
 	Warmup   float64
+
+	// Workload, when non-nil, drives the run from a declarative scenario
+	// (internal/workload) instead of the stationary Poisson pump:
+	// arrivals, holding times, prefill, phases and per-flow wire classes
+	// all come from the scenario's deterministic stream, seeded from
+	// Seed1/Seed2. Rate, Hold, Duration and Warmup must be zero (the
+	// scenario defines them); Class still applies when the scenario has
+	// no class mixture. Results gain per-phase breakdowns (Result.Phases).
+	Workload *workload.Scenario
+	// WorkloadRecord, when non-nil, observes every consumed workload
+	// record in stream order — the golden-determinism trace hook.
+	WorkloadRecord func(workload.Flow)
 
 	// Seed1, Seed2 seed the deterministic random source. Identical
 	// configurations produce identical measurements.
@@ -157,17 +170,38 @@ func (cfg *Config) withDefaults() (Config, error) {
 	if c.Util == nil {
 		return c, fmt.Errorf("loadgen: utility must be non-nil")
 	}
-	if !(c.Rate > 0) || !(c.Hold > 0) {
-		return c, fmt.Errorf("loadgen: need positive rate and holding time, got (%g, %g)", c.Rate, c.Hold)
-	}
-	if !(c.Duration > 0) {
-		return c, fmt.Errorf("loadgen: duration must be positive, got %g", c.Duration)
-	}
-	if c.Warmup < 0 {
-		return c, fmt.Errorf("loadgen: warmup must be nonnegative, got %g", c.Warmup)
-	}
-	if c.Warmup == 0 {
-		c.Warmup = 5 * c.Hold
+	if c.Workload != nil {
+		if c.Rate != 0 || c.Hold != 0 || c.Duration != 0 || c.Warmup != 0 {
+			return c, fmt.Errorf("loadgen: Workload defines the dynamics; Rate, Hold, Duration and Warmup must be zero")
+		}
+		if len(c.Workload.Classes) > 0 {
+			if c.Class != 0 {
+				return c, fmt.Errorf("loadgen: the workload scenario carries its own class mixture; Class must be zero")
+			}
+			if c.RetryAttempts > 1 {
+				return c, fmt.Errorf("loadgen: a class-mixture workload and RetryAttempts are mutually exclusive (the retry path is class-blind)")
+			}
+			for _, cl := range c.Workload.Classes {
+				if cl.Tier > resv.ClassMask {
+					return c, fmt.Errorf("loadgen: workload class %q tier %d does not fit the wire's class space (max %d)", cl.Name, cl.Tier, resv.ClassMask)
+				}
+			}
+		}
+		c.Warmup = c.Workload.Warmup
+		c.Duration = c.Workload.Duration() - c.Workload.Warmup
+	} else {
+		if !(c.Rate > 0) || !(c.Hold > 0) {
+			return c, fmt.Errorf("loadgen: need positive rate and holding time, got (%g, %g)", c.Rate, c.Hold)
+		}
+		if !(c.Duration > 0) {
+			return c, fmt.Errorf("loadgen: duration must be positive, got %g", c.Duration)
+		}
+		if c.Warmup < 0 {
+			return c, fmt.Errorf("loadgen: warmup must be nonnegative, got %g", c.Warmup)
+		}
+		if c.Warmup == 0 {
+			c.Warmup = 5 * c.Hold
+		}
 	}
 	if c.Conns == 0 {
 		c.Conns = 4
@@ -288,6 +322,10 @@ type Result struct {
 	Batches    int
 	BatchedOps int
 
+	// Phases holds the per-phase measured breakdown of a workload-driven
+	// run (indexed like Config.Workload.Phases; nil otherwise).
+	Phases []PhaseStats
+
 	// FinalActive is the server's reservation count after cleanup (0 on a
 	// correct server: every grant was matched by a teardown or release).
 	FinalActive int
@@ -298,8 +336,21 @@ type Result struct {
 type flow struct {
 	id       uint64
 	conn     int
+	tier     uint8 // wire admission class carried on every request
+	phase    int   // scenario phase index (workload runs only)
 	present  bool
 	reserved bool
+}
+
+// arrival is one pre-drawn arrival: the holding time comes off the RNG
+// when the group is built (before any protocol round trip — RPCs draw
+// nothing, so the draw sequence matches the legacy draw-inside-arrive
+// order exactly), and the tier/phase come from the workload record or the
+// run-wide Class.
+type arrival struct {
+	hold  float64
+	tier  uint8
+	phase int
 }
 
 // rclient is the protocol surface the harness drives. *resv.Client covers
@@ -420,6 +471,14 @@ type runner struct {
 	occ      []float64
 	peak     int
 
+	// Workload-mode state: the scenario stream, its one-record lookahead
+	// (so simultaneous records group into one virtual instant), and the
+	// per-phase accumulators.
+	wl     *workload.Stream
+	wlNext workload.Flow
+	wlOK   bool
+	phases []phaseAccum
+
 	res Result
 	err error // first RPC/transport failure; aborts the run
 }
@@ -478,34 +537,48 @@ func Run(cfg Config) (*Result, error) {
 		r.piTimes[n] = float64(n) * c.Util.Eval(c.Capacity/float64(n))
 	}
 
-	arr, err := sim.NewPoissonArrivals(c.Rate)
-	if err != nil {
-		return nil, err
-	}
-	hold, err := sim.NewExpHolding(c.Hold)
-	if err != nil {
-		return nil, err
-	}
+	if c.Workload != nil {
+		// Scenario-driven dynamics: the stream owns all randomness. The
+		// t=0 group (prefill plus any zero-time arrivals) lands before the
+		// event loop starts, exactly like the stationary pre-fill.
+		r.wl = c.Workload.Stream(c.Seed1, c.Seed2)
+		r.phases = make([]phaseAccum, len(c.Workload.Phases))
+		r.pull()
+		r.arriveGroup(r.takeGroup(0))
+		if r.err != nil {
+			return nil, r.err
+		}
+		r.pumpWorkload()
+	} else {
+		arr, err := sim.NewPoissonArrivals(c.Rate)
+		if err != nil {
+			return nil, err
+		}
+		hold, err := sim.NewExpHolding(c.Hold)
+		if err != nil {
+			return nil, err
+		}
 
-	// Pre-fill the link with round(k̄) flows so warmup starts near the
-	// stationary regime (exponential holding is memoryless, so a fresh
-	// holding time is the correct stationary residual).
-	r.arriveGroup(hold, int(c.Rate*c.Hold+0.5))
-	if r.err != nil {
-		return nil, r.err
+		// Pre-fill the link with round(k̄) flows so warmup starts near the
+		// stationary regime (exponential holding is memoryless, so a fresh
+		// holding time is the correct stationary residual).
+		r.arriveGroup(r.drawGroup(hold, int(c.Rate*c.Hold+0.5)))
+		if r.err != nil {
+			return nil, r.err
+		}
+		var pump func()
+		pump = func() {
+			wait, batch := arr.Next(r.src)
+			r.eng.Schedule(wait, func() {
+				if r.err != nil {
+					return
+				}
+				r.arriveGroup(r.drawGroup(hold, batch))
+				pump()
+			})
+		}
+		pump()
 	}
-	var pump func()
-	pump = func() {
-		wait, batch := arr.Next(r.src)
-		r.eng.Schedule(wait, func() {
-			if r.err != nil {
-				return
-			}
-			r.arriveGroup(hold, batch)
-			pump()
-		})
-	}
-	pump()
 	horizon := c.Warmup + c.Duration
 	r.eng.Run(horizon)
 	if r.err != nil {
@@ -677,17 +750,20 @@ func (r *runner) advance(to float64) {
 		r.occ[r.pop] += dt
 		lo = end
 	}
+	if r.wl != nil {
+		r.advancePhases(from, to)
+	}
 }
 
 // arrive handles one flow arrival: it joins the offered population, issues
 // its first reservation attempt, and schedules its departure.
-func (r *runner) arrive(hold sim.Holding) {
+func (r *runner) arrive(a arrival) {
 	if r.err != nil {
 		return
 	}
 	r.advance(r.eng.Now())
 	r.nextID++
-	f := &flow{id: r.nextID, conn: r.rrNext, present: true}
+	f := &flow{id: r.nextID, conn: r.rrNext, tier: a.tier, phase: a.phase, present: true}
 	r.rrNext = (r.rrNext + 1) % len(r.eps)
 	r.pop++
 	if r.pop > r.peak {
@@ -697,6 +773,7 @@ func (r *runner) arrive(hold sim.Holding) {
 	if counted {
 		r.res.Flows++
 		r.firstAtt[b]++
+		r.phaseFirst(f.phase, false)
 	}
 	granted := r.request(f)
 	if r.err != nil {
@@ -706,10 +783,21 @@ func (r *runner) arrive(hold sim.Holding) {
 		if counted {
 			r.res.FirstDenied++
 			r.firstDen[b]++
+			r.phaseFirst(f.phase, true)
 		}
 		r.waiting = append(r.waiting, f)
 	}
-	r.eng.Schedule(hold.Sample(r.src), func() { r.depart(f) })
+	r.eng.Schedule(a.hold, func() { r.depart(f) })
+}
+
+// drawGroup pre-draws n stationary arrivals (holding times in flow order,
+// the run-wide wire class) for one virtual instant.
+func (r *runner) drawGroup(hold sim.Holding, n int) []arrival {
+	g := make([]arrival, n)
+	for i := range g {
+		g[i] = arrival{hold: hold.Sample(r.src), tier: r.cfg.Class}
+	}
+	return g
 }
 
 // request issues one reservation attempt (or a retry burst) for f and
@@ -728,7 +816,7 @@ func (r *runner) request(f *flow) bool {
 			Rand:        r.retryRand,
 		})
 	} else {
-		ok, share, err = ep.client.ReserveClass(ctx, f.id, 1, r.cfg.Class)
+		ok, share, err = ep.client.ReserveClass(ctx, f.id, 1, f.tier)
 	}
 	if err != nil {
 		r.err = fmt.Errorf("loadgen: reserve flow %d: %w", f.id, err)
@@ -761,17 +849,17 @@ func (r *runner) batched() bool { return r.cfg.Batch >= 2 }
 // as it would grant the same frames sent one at a time, and the holding
 // times draw from the RNG in the same order either way, so a batched run
 // reproduces the sequential run's dynamics and statistics bit for bit.
-func (r *runner) arriveGroup(hold sim.Holding, n int) {
-	if !r.batched() || n < 2 {
-		for i := 0; i < n; i++ {
-			r.arrive(hold)
+func (r *runner) arriveGroup(g []arrival) {
+	if !r.batched() || len(g) < 2 {
+		for _, a := range g {
+			r.arrive(a)
 		}
 		return
 	}
 	r.advance(r.eng.Now())
 	b, counted := r.inWindow()
-	for n > 0 && r.err == nil {
-		chunk := n
+	for len(g) > 0 && r.err == nil {
+		chunk := len(g)
 		if chunk > r.cfg.Batch {
 			chunk = r.cfg.Batch
 		}
@@ -780,7 +868,7 @@ func (r *runner) arriveGroup(hold sim.Holding, n int) {
 		flows := make([]*flow, chunk)
 		for i := range flows {
 			r.nextID++
-			flows[i] = &flow{id: r.nextID, conn: ci, present: true}
+			flows[i] = &flow{id: r.nextID, conn: ci, tier: g[i].tier, phase: g[i].phase, present: true}
 			r.pop++
 			if r.pop > r.peak {
 				r.peak = r.pop
@@ -788,6 +876,7 @@ func (r *runner) arriveGroup(hold sim.Holding, n int) {
 			if counted {
 				r.res.Flows++
 				r.firstAtt[b]++
+				r.phaseFirst(g[i].phase, false)
 			}
 		}
 		granted := r.requestBatch(ci, flows)
@@ -799,13 +888,14 @@ func (r *runner) arriveGroup(hold sim.Holding, n int) {
 				if counted {
 					r.res.FirstDenied++
 					r.firstDen[b]++
+					r.phaseFirst(f.phase, true)
 				}
 				r.waiting = append(r.waiting, f)
 			}
 			f := f
-			r.eng.Schedule(hold.Sample(r.src), func() { r.depart(f) })
+			r.eng.Schedule(g[i].hold, func() { r.depart(f) })
 		}
-		n -= chunk
+		g = g[chunk:]
 	}
 }
 
@@ -827,7 +917,7 @@ func (r *runner) requestBatch(ci int, flows []*flow) []bool {
 	ep := r.eps[ci]
 	ops := make([]resv.Frame, len(flows))
 	for i, f := range flows {
-		ops[i] = resv.Frame{Type: resv.MsgRequest, Class: r.cfg.Class, FlowID: f.id, Value: 1}
+		ops[i] = resv.Frame{Type: resv.MsgRequest, Class: f.tier, FlowID: f.id, Value: 1}
 	}
 	v, share, err := r.issueBatch(ep, ops)
 	if err != nil {
@@ -897,7 +987,7 @@ func (r *runner) teardownPromote(f *flow) {
 	ops := make([]resv.Frame, 0, len(cands)+1)
 	ops = append(ops, resv.Frame{Type: resv.MsgTeardown, FlowID: f.id})
 	for _, c := range cands {
-		ops = append(ops, resv.Frame{Type: resv.MsgRequest, Class: r.cfg.Class, FlowID: c.id, Value: 1})
+		ops = append(ops, resv.Frame{Type: resv.MsgRequest, Class: c.tier, FlowID: c.id, Value: 1})
 	}
 	v, share, err := r.issueBatch(ep, ops)
 	if err != nil {
@@ -1170,4 +1260,7 @@ func (r *runner) finish() {
 	r.res.MeasuredMeanLoad, r.res.LoadSigma = ratio(r.popInt, r.time)
 	r.res.PeakLoad = r.peak
 	r.res.OccupancyWeights = append([]float64(nil), r.occ...)
+	if r.wl != nil {
+		r.finishPhases()
+	}
 }

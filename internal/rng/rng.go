@@ -111,6 +111,53 @@ func (s *Source) poissonPTRS(mean float64) int {
 	}
 }
 
+// Normal returns a normal variate with the given mean and standard
+// deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return s.r.NormFloat64()*stddev + mean
+}
+
+// LogNormal returns exp(Normal(mu, sigma)). Note mu and sigma are the
+// log-scale parameters, not the variate's mean and deviation: the mean is
+// exp(mu + sigma²/2).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// Gamma returns a gamma variate with the given shape k > 0 and scale
+// θ > 0 (mean k·θ) via Marsaglia & Tsang's squeeze method ("A simple
+// method for generating gamma variables", 2000). Shapes below 1 use the
+// boosting identity Gamma(k) = Gamma(k+1)·U^(1/k).
+func (s *Source) Gamma(shape, scale float64) float64 {
+	if shape < 1 {
+		u := s.Float64()
+		for u == 0 {
+			u = s.Float64()
+		}
+		return s.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = s.r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := s.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
 // Pareto returns a Pareto variate with scale xm > 0 and shape alpha > 0:
 // P(X > x) = (xm/x)^alpha for x ≥ xm.
 func (s *Source) Pareto(xm, alpha float64) float64 {

@@ -1,0 +1,86 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// moments returns the empirical mean and variance of n draws.
+func moments(n int, draw func() float64) (mean, variance float64) {
+	var sum float64
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = draw()
+		sum += xs[i]
+	}
+	mean = sum / float64(n)
+	var sq float64
+	for _, x := range xs {
+		sq += (x - mean) * (x - mean)
+	}
+	return mean, sq / float64(n-1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11, 13)
+	mean, v := moments(200000, func() float64 { return s.Normal(3, 2) })
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("Normal mean = %g, want ≈ 3", mean)
+	}
+	if math.Abs(v-4) > 0.2 {
+		t.Fatalf("Normal variance = %g, want ≈ 4", v)
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	s := New(17, 19)
+	// mu = ln(2) - 0.5²/2 gives mean 2.
+	mu := math.Log(2) - 0.125
+	mean, _ := moments(200000, func() float64 { return s.LogNormal(mu, 0.5) })
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("LogNormal mean = %g, want ≈ 2", mean)
+	}
+	for i := 0; i < 1000; i++ {
+		if x := s.LogNormal(mu, 0.5); !(x > 0) {
+			t.Fatalf("LogNormal produced non-positive %g", x)
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	cases := []struct{ shape, scale float64 }{
+		{4, 0.5},   // squeeze path, shape > 1
+		{1, 2},     // exponential special case
+		{0.25, 3},  // boost path, shape < 1
+		{0.04, 10}, // extreme low shape (cv=5 renewal regime)
+	}
+	s := New(23, 29)
+	for _, tc := range cases {
+		wantMean := tc.shape * tc.scale
+		wantVar := tc.shape * tc.scale * tc.scale
+		mean, v := moments(300000, func() float64 { return s.Gamma(tc.shape, tc.scale) })
+		if math.Abs(mean-wantMean) > 0.05*wantMean+0.01 {
+			t.Errorf("Gamma(%g,%g) mean = %g, want ≈ %g", tc.shape, tc.scale, mean, wantMean)
+		}
+		if math.Abs(v-wantVar) > 0.1*wantVar+0.02 {
+			t.Errorf("Gamma(%g,%g) variance = %g, want ≈ %g", tc.shape, tc.scale, v, wantVar)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		if x := s.Gamma(0.04, 10); !(x >= 0) {
+			t.Fatalf("Gamma produced negative %g", x)
+		}
+	}
+}
+
+func TestSamplersDeterministic(t *testing.T) {
+	a, b := New(5, 7), New(5, 7)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Gamma(0.7, 2), b.Gamma(0.7, 2); x != y {
+			t.Fatalf("Gamma draw %d differs: %g vs %g", i, x, y)
+		}
+		if x, y := a.LogNormal(0, 1), b.LogNormal(0, 1); x != y {
+			t.Fatalf("LogNormal draw %d differs: %g vs %g", i, x, y)
+		}
+	}
+}

@@ -28,6 +28,9 @@ const (
 	evSample
 	// evRetry re-submits rejected flow `flow` after its backoff.
 	evRetry
+	// evWload lands the pending workload-stream record and pulls the next
+	// one (workload-driven runs replace evPump with this).
+	evWload
 )
 
 // event is one scheduled record. seq breaks ties deterministically, so

@@ -7,6 +7,7 @@ import (
 	"beqos/internal/policy"
 	"beqos/internal/rng"
 	"beqos/internal/utility"
+	"beqos/internal/workload"
 )
 
 // Policy selects the link architecture.
@@ -70,9 +71,21 @@ type Config struct {
 	// a Config carrying one must not be shared across concurrent runs — see
 	// RunReplicationsWorkers.
 	Admission policy.Policy
-	// Arrivals and Holding define the flow dynamics.
+	// Arrivals and Holding define the flow dynamics. Both must be nil
+	// when Workload is set.
 	Arrivals Arrivals
 	Holding  Holding
+	// Workload, when non-nil, drives the run from a declarative scenario
+	// (internal/workload) instead of Arrivals/Holding: arrivals, holding
+	// times, classes and phases all come from the scenario's
+	// deterministic stream, seeded from Seed1/Seed2. Classes must be
+	// empty (the scenario's mixture applies, scored with Util); Horizon 0
+	// defaults to the scenario duration and Warmup 0 to the scenario
+	// warmup.
+	Workload *workload.Scenario
+	// WorkloadRecord, when non-nil, observes every consumed workload
+	// record in stream order — the golden-determinism trace hook.
+	WorkloadRecord func(workload.Flow)
 	// Horizon is the simulated duration; Warmup (< Horizon) is excluded
 	// from all statistics.
 	Horizon float64
@@ -123,6 +136,12 @@ type Result struct {
 	// counts when Config.Classes was set.
 	ClassUtility []float64
 	ClassFlows   []int
+	// PhaseFlows, PhaseAdmitted and PhaseRejected tally post-warmup flows
+	// by final fate per scenario phase when Config.Workload was set
+	// (indexed like Workload.Phases).
+	PhaseFlows    []int
+	PhaseAdmitted []int
+	PhaseRejected []int
 }
 
 // flow carries per-flow measurement state. Flows live in simState's arena
@@ -133,9 +152,11 @@ type Result struct {
 type flow struct {
 	admittedAt float64
 	utilAccum  float64 // ∫ π dt reference at admission (time-average mode)
+	hold       float64 // pre-drawn holding time (workload runs only)
 	attempts   int32
 	maxLoad    int32
 	class      int32 // index into the class list (0 when homogeneous)
+	phase      int32 // scenario phase index (workload runs only)
 	counted    bool  // true if the flow arrived post-warmup
 }
 
@@ -154,6 +175,30 @@ func prepare(cfg Config) (*simState, error) {
 	if !(cfg.Capacity > 0) {
 		return nil, fmt.Errorf("sim: capacity must be positive, got %g", cfg.Capacity)
 	}
+	if cfg.Workload != nil {
+		if cfg.Arrivals != nil || cfg.Holding != nil {
+			return nil, fmt.Errorf("sim: Workload replaces Arrivals/Holding; set one or the other")
+		}
+		if len(cfg.Classes) > 0 {
+			return nil, fmt.Errorf("sim: Workload carries its own class mixture; Classes must be empty")
+		}
+		if cfg.Util == nil {
+			return nil, fmt.Errorf("sim: workload runs need Util (scenario classes scale demand, not utility)")
+		}
+		for _, c := range cfg.Workload.Classes {
+			cfg.Classes = append(cfg.Classes, FlowClass{
+				Weight: c.Weight,
+				Util:   cfg.Util,
+				Demand: c.Demand,
+			})
+		}
+		if cfg.Horizon == 0 {
+			cfg.Horizon = cfg.Workload.Duration()
+		}
+		if cfg.Warmup == 0 {
+			cfg.Warmup = cfg.Workload.Warmup
+		}
+	}
 	var classes []FlowClass
 	if len(cfg.Classes) > 0 {
 		var err error
@@ -169,7 +214,7 @@ func prepare(cfg Config) (*simState, error) {
 			cfg.Util = mix
 		}
 	}
-	if cfg.Util == nil || cfg.Arrivals == nil || cfg.Holding == nil {
+	if cfg.Util == nil || (cfg.Workload == nil && (cfg.Arrivals == nil || cfg.Holding == nil)) {
 		return nil, fmt.Errorf("sim: utility, arrivals and holding must be non-nil")
 	}
 	if !(cfg.Horizon > 0) || cfg.Warmup < 0 || cfg.Warmup >= cfg.Horizon {
@@ -226,6 +271,12 @@ func prepare(cfg Config) (*simState, error) {
 		s.utilSumClass = make([]float64, len(classes))
 		s.flowsClass = make([]int, len(classes))
 	}
+	if wl := cfg.Workload; wl != nil {
+		s.wl = wl.Stream(cfg.Seed1, cfg.Seed2)
+		s.phaseFlows = make([]int, len(wl.Phases))
+		s.phaseAdmitted = make([]int, len(wl.Phases))
+		s.phaseRejected = make([]int, len(wl.Phases))
+	}
 
 	return s, nil
 }
@@ -233,11 +284,31 @@ func prepare(cfg Config) (*simState, error) {
 // run primes the arrival pump and drains the event loop to the horizon.
 // Each evPump event lands one batch, then draws the next interarrival and
 // re-arms itself (same RNG draw order as a recursive closure pump, with no
-// per-batch closure).
+// per-batch closure). Workload runs pull pre-drawn records from the
+// scenario stream instead: one evWload per record, re-armed as each lands.
 func (s *simState) run() {
-	wait, batch := s.cfg.Arrivals.Next(s.src)
-	s.eng.scheduleTagged(wait, evPump, 0, int32(batch))
+	if s.wl != nil {
+		s.pullRecord()
+	} else {
+		wait, batch := s.cfg.Arrivals.Next(s.src)
+		s.eng.scheduleTagged(wait, evPump, 0, int32(batch))
+	}
 	s.loop()
+}
+
+// pullRecord advances the workload stream and schedules the next record's
+// arrival. At most one evWload is outstanding, so wlNext is unambiguous
+// at dispatch.
+func (s *simState) pullRecord() {
+	rec, ok := s.wl.Next()
+	if !ok {
+		return
+	}
+	if s.cfg.WorkloadRecord != nil {
+		s.cfg.WorkloadRecord(rec)
+	}
+	s.wlNext = rec
+	s.eng.scheduleTagged(rec.At-s.eng.Now(), evWload, 0, 0)
 }
 
 // simState carries the mutable simulation state.
@@ -251,6 +322,15 @@ type simState struct {
 	// flows is the flow arena; free lists recycled slots.
 	flows []flow
 	free  []int32
+
+	// wl is the workload stream (workload runs only); wlNext is the
+	// pulled record awaiting its evWload dispatch. phaseFlows/Admitted/
+	// Rejected tally post-warmup fates per scenario phase.
+	wl            *workload.Stream
+	wlNext        workload.Flow
+	phaseFlows    []int
+	phaseAdmitted []int
+	phaseRejected []int
 
 	active    int
 	occTime   []float64 // time-weighted occupancy histogram (post-warmup)
@@ -301,6 +381,16 @@ func (s *simState) loop() {
 			}
 		case evRetry:
 			s.arrive(ev.flow)
+		case evWload:
+			rec := s.wlNext
+			fi := s.newFlow()
+			f := &s.flows[fi]
+			f.counted = s.eng.Now() >= s.cfg.Warmup
+			f.class = int32(rec.Class)
+			f.phase = int32(rec.Phase)
+			f.hold = rec.Hold
+			s.arrive(fi)
+			s.pullRecord()
 		case evFunc:
 			ev.fn()
 		}
@@ -368,7 +458,7 @@ func (s *simState) setActive(n int) {
 func (s *simState) arrive(fi int32) {
 	f := &s.flows[fi]
 	f.attempts++
-	if f.attempts == 1 && len(s.classes) > 0 {
+	if f.attempts == 1 && len(s.classes) > 0 && s.wl == nil {
 		f.class = int32(pickClass(s.classes, s.src))
 	}
 	if f.counted {
@@ -377,6 +467,9 @@ func (s *simState) arrive(fi int32) {
 			s.nflows++
 			if len(s.classes) > 0 {
 				s.flowsClass[f.class]++
+			}
+			if s.wl != nil {
+				s.phaseFlows[f.phase]++
 			}
 			// PASTA sample of the demand process: the load level this
 			// flow experiences, itself included.
@@ -406,6 +499,9 @@ func (s *simState) admit(fi int32) {
 	f := &s.flows[fi]
 	if f.counted {
 		s.admitted++
+		if s.wl != nil {
+			s.phaseAdmitted[f.phase]++
+		}
 	}
 	s.setActive(s.active + 1)
 	f.maxLoad = int32(s.active)
@@ -415,7 +511,12 @@ func (s *simState) admit(fi int32) {
 		f.utilAccum = s.piAccum
 	}
 	f.admittedAt = s.eng.Now()
-	holding := s.cfg.Holding.Sample(s.src)
+	var holding float64
+	if s.wl != nil {
+		holding = f.hold
+	} else {
+		holding = s.cfg.Holding.Sample(s.src)
+	}
 	// Extra load samples at uniform instants over the flow's lifetime
 	// (§5.1): record the concurrent flow count at each. Sample instants
 	// are strictly inside [0, holding), so every evSample fires before the
@@ -473,6 +574,9 @@ func (s *simState) reject(fi int32) {
 	}
 	if f.counted {
 		s.rejected++
+		if s.wl != nil {
+			s.phaseRejected[f.phase]++
+		}
 		s.utilSum -= s.penalty(f)
 		if len(s.classes) > 0 {
 			s.utilSumClass[f.class] -= s.penalty(f)
@@ -526,6 +630,11 @@ func (s *simState) result() Result {
 				res.ClassUtility[i] = sum / float64(s.flowsClass[i])
 			}
 		}
+	}
+	if s.wl != nil {
+		res.PhaseFlows = append([]int(nil), s.phaseFlows...)
+		res.PhaseAdmitted = append([]int(nil), s.phaseAdmitted...)
+		res.PhaseRejected = append([]int(nil), s.phaseRejected...)
 	}
 	return res
 }
